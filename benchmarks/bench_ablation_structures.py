@@ -1,0 +1,75 @@
+"""Ablation: BuMP structure sizing and timing-model sensitivity.
+
+Section V.B observes that Software Testing is limited by RDTT capacity and
+that a 2048-entry RDTT recovers most of the lost coverage; Section IV.D
+chooses 1024-entry BHT/DRT tables.  These sweeps regenerate the trade-off on
+a workload subset that includes Software Testing.  The timing-model study
+checks that BuMP's speedup claim survives replacing the fixed-MLP analytic
+core model with the ROB/MSHR-derived interval model.
+"""
+
+from conftest import run_once
+
+from repro.analysis.ablations import (
+    predictor_table_sizing,
+    rdtt_sizing,
+    timing_model_sensitivity,
+)
+from repro.analysis.reporting import format_nested_mapping, print_report
+
+SIZING_WORKLOADS = ["software_testing", "web_search"]
+TIMING_WORKLOADS = ["data_serving", "media_streaming", "web_search"]
+
+
+def test_rdtt_sizing(benchmark, workloads):
+    selected = [name for name in workloads if name in SIZING_WORKLOADS] or workloads
+    table = run_once(benchmark, rdtt_sizing, (64, 256, 2048), selected)
+
+    rendered = {f"{entries} entries": row for entries, row in table.items()}
+    print_report(format_nested_mapping(
+        rendered, value_format="{:.3f}",
+        title="BuMP read coverage vs RDTT trigger/density table size",
+        columns=["read_coverage", "read_overfetch"]))
+
+    # Section IV.D / V.B: the chosen 256-entry geometry captures most of the
+    # coverage any RDTT size reaches (it behaves close to an unbounded table).
+    best = max(row["read_coverage"] for row in table.values())
+    assert table[256]["read_coverage"] >= 0.7 * best
+    for entries, row in table.items():
+        assert 0.0 <= row["read_coverage"] <= 1.0, entries
+        assert row["read_overfetch"] >= 0.0, entries
+
+
+def test_predictor_table_sizing(benchmark, workloads):
+    selected = [name for name in workloads if name in SIZING_WORKLOADS] or workloads
+    table = run_once(benchmark, predictor_table_sizing, (128, 1024), selected)
+
+    rendered = {f"{entries} entries": row for entries, row in table.items()}
+    print_report(format_nested_mapping(
+        rendered, value_format="{:.3f}",
+        title="BuMP coverage vs BHT/DRT size",
+        columns=["read_coverage", "write_coverage", "extra_writebacks"]))
+
+    # A larger BHT/DRT never loses write coverage on the same trace; the
+    # extra-writeback column is reported (the paper quotes <10% at the chosen
+    # size) but not asserted because its denominator -- the baseline's demand
+    # writebacks -- is very sensitive to trace length.
+    assert table[1024]["write_coverage"] >= table[128]["write_coverage"] - 0.02
+    for row in table.values():
+        assert row["extra_writebacks"] >= 0.0
+        assert 0.0 <= row["read_coverage"] <= 1.0
+
+
+def test_timing_model_sensitivity(benchmark, workloads):
+    selected = [name for name in workloads if name in TIMING_WORKLOADS] or workloads
+    table = run_once(benchmark, timing_model_sensitivity, selected)
+
+    print_report(format_nested_mapping(
+        table, value_format="{:+.3f}",
+        title="BuMP speedup over Base-open under both core timing models",
+        columns=["bump_speedup_over_base_open"]))
+
+    # The performance claim does not hinge on the fixed-MLP assumption:
+    # BuMP does not lose performance under either model.
+    for model, row in table.items():
+        assert row["bump_speedup_over_base_open"] > -0.05, model

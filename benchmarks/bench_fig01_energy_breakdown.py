@@ -1,0 +1,35 @@
+"""Figure 1 -- server energy breakdown by component.
+
+The paper motivates BuMP by showing that main memory consumes 48-62% of
+server energy on the baseline system, with page activations a major part of
+the dynamic component.  This benchmark regenerates the stacked-bar data:
+per-workload energy shares of cores, LLC, NOC, memory controllers and memory
+(activation / burst&IO / background).
+"""
+
+from conftest import run_once
+
+from repro.analysis import paper_data
+from repro.analysis.experiments import figure1_energy_breakdown
+from repro.analysis.reporting import format_nested_mapping, print_report
+
+
+def test_figure1_energy_breakdown(benchmark, workloads):
+    shares = run_once(benchmark, figure1_energy_breakdown, workloads)
+
+    print_report(format_nested_mapping(
+        shares,
+        value_format="{:.2f}",
+        title="Figure 1: server energy shares by component (Base-open)",
+        columns=["cores", "llc", "noc", "memory_controller",
+                 "memory_activation", "memory_burst_io", "memory_background"],
+    ))
+
+    low, high = paper_data.MEMORY_ENERGY_SHARE_RANGE
+    for workload, breakdown in shares.items():
+        memory_share = (breakdown["memory_activation"] + breakdown["memory_burst_io"]
+                        + breakdown["memory_background"])
+        # The paper reports memory at 48-62% of server energy; the synthetic
+        # substrate must at least make memory a first-order consumer.
+        assert memory_share > 0.25, f"memory share implausibly low for {workload}"
+        assert memory_share < 0.9, f"memory share implausibly high for {workload}"

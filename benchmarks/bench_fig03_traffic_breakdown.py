@@ -1,0 +1,36 @@
+"""Figure 3 -- DRAM accesses broken down into reads and writes.
+
+The paper reports that DRAM writes (LLC writebacks) account for 21-38% of
+memory traffic, which is why a mechanism that only improves the locality of
+load-triggered reads (like SMS) leaves much of the opportunity unexploited.
+This benchmark regenerates the per-workload decomposition into
+load-triggered reads, store-triggered reads and writes.
+"""
+
+from conftest import run_once
+
+from repro.analysis import paper_data
+from repro.analysis.experiments import figure3_traffic_breakdown
+from repro.analysis.reporting import format_nested_mapping, print_report
+
+
+def test_figure3_traffic_breakdown(benchmark, workloads):
+    table = run_once(benchmark, figure3_traffic_breakdown, workloads)
+
+    print_report(format_nested_mapping(
+        table,
+        value_format="{:.2f}",
+        title="Figure 3: DRAM access mix (load reads / store reads / writes)",
+        columns=["load_reads", "store_reads", "writes"],
+    ))
+
+    low, high = paper_data.WRITE_TRAFFIC_SHARE_RANGE
+    for workload, mix in table.items():
+        total = sum(mix.values())
+        assert abs(total - 1.0) < 1e-6
+        # Writes are a significant share of traffic for every workload, in or
+        # near the paper's 21-38% band.
+        assert mix["writes"] > 0.12, f"write share too small for {workload}"
+        assert mix["writes"] < high + 0.12, f"write share too large for {workload}"
+        # Store-triggered reads exist (they are the part SMS ignores).
+        assert mix["store_reads"] > 0.05

@@ -1,0 +1,44 @@
+"""Figure 5 -- region access density of DRAM reads and writes.
+
+Section III's central characterisation: for 1KB regions, the majority of
+DRAM reads (57-75%) and writes (62-86%) fall into high-density regions --
+regions in which at least half of the sixteen blocks are touched between the
+first access and the first LLC eviction.  This benchmark regenerates the
+low/medium/high split per workload for both reads and writes.
+"""
+
+from conftest import run_once
+
+from repro.analysis import paper_data
+from repro.analysis.experiments import figure5_region_density
+from repro.analysis.reporting import format_nested_mapping, print_report
+
+
+def test_figure5_region_density(benchmark, workloads):
+    table = run_once(benchmark, figure5_region_density, workloads)
+
+    reads = {wl: entry["reads"] for wl, entry in table.items()}
+    writes = {wl: entry["writes"] for wl, entry in table.items()}
+    print_report(format_nested_mapping(
+        reads, value_format="{:.2f}",
+        title="Figure 5 (reads): region access density shares",
+        columns=["low", "medium", "high"]))
+    print_report(format_nested_mapping(
+        writes, value_format="{:.2f}",
+        title="Figure 5 (writes): region access density shares",
+        columns=["low", "medium", "high"]))
+
+    for workload, entry in table.items():
+        read_high = entry["reads"]["high"]
+        write_high = entry["writes"]["high"]
+        assert abs(sum(entry["reads"].values()) - 1.0) < 1e-6
+        assert abs(sum(entry["writes"].values()) - 1.0) < 1e-6
+        # Bimodality: high-density regions dominate reads and writes, with a
+        # non-trivial low-density component (hashed lookups etc.).
+        assert read_high > 0.40, f"read high-density share too low for {workload}"
+        assert write_high > 0.50, f"write high-density share too low for {workload}"
+        assert entry["reads"]["low"] > 0.05
+
+    avg_high_reads = sum(e["reads"]["high"] for e in table.values()) / len(table)
+    low, high = paper_data.READ_HIGH_DENSITY_RANGE
+    assert low - 0.15 <= avg_high_reads <= high + 0.10

@@ -1,0 +1,46 @@
+"""Figure 8 -- prediction accuracy of BuMP versus Full-region streaming.
+
+Left panel of the paper: BuMP predicts 45-55% of DRAM reads (28% for
+Software Testing) with 5-22% overfetch, while indiscriminate Full-region
+streaming gains little coverage but multiplies read traffic (4.3x overfetch
+on average).  Right panel: BuMP streams about 63% of DRAM writes with under
+10% extra writeback traffic, while Full-region adds roughly 22% extra
+writebacks.  This benchmark regenerates all four series.
+"""
+
+from conftest import run_once
+
+from repro.analysis import paper_data
+from repro.analysis.experiments import figure8_prediction_accuracy
+from repro.analysis.reporting import format_nested_mapping, print_report
+
+
+def test_figure8_prediction_accuracy(benchmark, workloads):
+    table = run_once(benchmark, figure8_prediction_accuracy, workloads)
+
+    bump_rows = {wl: entry["bump"] for wl, entry in table.items()}
+    full_rows = {wl: entry["full_region"] for wl, entry in table.items()}
+    columns = ["read_coverage", "read_overfetch", "write_coverage", "extra_writebacks"]
+    print_report(format_nested_mapping(
+        bump_rows, value_format="{:.2f}",
+        title="Figure 8 (BuMP): coverage and waste", columns=columns))
+    print_report(format_nested_mapping(
+        full_rows, value_format="{:.2f}",
+        title="Figure 8 (Full-region): coverage and waste", columns=columns))
+
+    for workload, entry in table.items():
+        bump = entry["bump"]
+        full = entry["full_region"]
+        # BuMP covers a substantial fraction of reads and writes...
+        assert bump["read_coverage"] > 0.25, workload
+        assert bump["write_coverage"] > 0.25, workload
+        # ...at bounded waste.
+        assert bump["read_overfetch"] < 0.6, workload
+        # Full-region trades a little extra coverage for massive overfetch.
+        assert full["read_coverage"] >= bump["read_coverage"] - 0.10, workload
+        assert full["read_overfetch"] > 3 * bump["read_overfetch"], workload
+        assert full["read_overfetch"] > 1.0, workload
+
+    avg_bump_cov = sum(e["bump"]["read_coverage"] for e in table.values()) / len(table)
+    low, _high = paper_data.BUMP_READ_COVERAGE_RANGE
+    assert avg_bump_cov > low

@@ -1,0 +1,45 @@
+"""Figure 9 -- memory energy per access.
+
+The headline energy result: BuMP reduces dynamic memory energy per access by
+23% versus the open-row baseline and 34% versus the close-row baseline, while
+Full-region streaming is the *worst* configuration on several workloads
+because its overfetch multiplies both activations and transfers.  This
+benchmark regenerates the per-workload activation + burst/IO bars for the
+four systems of the figure.
+"""
+
+from conftest import run_once
+
+from repro.analysis import paper_data
+from repro.analysis.experiments import figure9_energy_per_access
+from repro.analysis.reporting import format_nested_mapping, print_report
+
+
+def test_figure9_energy_per_access(benchmark, workloads):
+    table = run_once(benchmark, figure9_energy_per_access, workloads)
+
+    normalized = {
+        workload: {name: entry["normalized"] for name, entry in row.items()}
+        for workload, row in table.items()
+    }
+    print_report(format_nested_mapping(
+        normalized, value_format="{:.2f}",
+        title="Figure 9: memory energy per access normalised to Base-close",
+        columns=["base_close", "base_open", "full_region", "bump"]))
+
+    for workload, row in table.items():
+        assert row["base_close"]["normalized"] == 1.0
+        # Open-row with region interleaving saves energy over close-row.
+        assert row["base_open"]["normalized"] < 1.0, workload
+        # BuMP is the most efficient of the four systems.
+        assert row["bump"]["normalized"] < row["base_open"]["normalized"], workload
+        # Full-region's overfetch makes it the least efficient system.
+        assert row["full_region"]["normalized"] > row["bump"]["normalized"], workload
+
+    avg_bump_vs_open = 1.0 - (
+        sum(row["bump"]["total_nj"] for row in table.values())
+        / sum(row["base_open"]["total_nj"] for row in table.values())
+    )
+    # Paper: 23% reduction versus Base-open; accept a generous band.
+    assert 0.10 < avg_bump_vs_open < 0.45
+    assert paper_data.BUMP_ENERGY_REDUCTION_VS_OPEN == 0.23

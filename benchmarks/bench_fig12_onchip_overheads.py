@@ -1,0 +1,40 @@
+"""Figure 12 -- BuMP's on-chip bandwidth and energy overheads.
+
+BuMP is not free on chip: bulk requests, overfetched data, eager writebacks,
+PC-extended requests and the notifications forwarded to its tables add LLC
+and NOC traffic.  The paper measures ~10% extra LLC traffic, ~11% extra NOC
+traffic, and single-digit-percent energy overheads -- negligible next to the
+memory energy savings.  This benchmark regenerates the normalised LLC/NOC
+traffic and energy of BuMP, plus the storage/power budget of its structures
+(Section V.F).
+"""
+
+from conftest import run_once
+
+from repro.analysis import paper_data
+from repro.analysis.experiments import figure12_onchip_overheads
+from repro.analysis.reporting import format_nested_mapping, print_report
+from repro.core.bump import BuMPPredictor
+
+
+def test_figure12_onchip_overheads(benchmark, workloads):
+    table = run_once(benchmark, figure12_onchip_overheads, workloads)
+
+    print_report(format_nested_mapping(
+        table, value_format="{:.2f}",
+        title="Figure 12: BuMP LLC/NOC traffic and energy (normalised to Base-open)",
+        columns=["llc_traffic", "llc_energy", "noc_traffic", "noc_energy"]))
+
+    for workload, row in table.items():
+        # Overheads exist but stay modest (the paper reports ~10-13%).
+        assert 1.0 <= row["llc_traffic"] < 1.8, workload
+        assert 1.0 <= row["noc_traffic"] < 1.8, workload
+        assert row["llc_energy"] < 1.8, workload
+        assert row["noc_energy"] < 1.9, workload
+
+
+def test_bump_storage_budget(benchmark):
+    """Section IV.D / V.F: ~14KB of storage across BuMP's four tables."""
+    predictor = run_once(benchmark, BuMPPredictor)
+    storage_kb = predictor.storage_bits() / 8 / 1024
+    assert abs(storage_kb - paper_data.BUMP_STORAGE_KB) < 3.0

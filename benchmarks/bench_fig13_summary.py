@@ -1,0 +1,49 @@
+"""Figure 13 -- cross-system summary of row-buffer locality and energy.
+
+The paper's closing comparison averages across workloads: the open-row
+baseline reaches a 21% row-buffer hit ratio, SMS 30%, VWQ 36%, SMS+VWQ 44%,
+BuMP 55% and the ideal system 77%, with memory energy per access falling
+accordingly (BuMP within 73% of ideal).  This benchmark regenerates both
+panels for every evaluated system.
+"""
+
+from conftest import run_once
+
+from repro.analysis import paper_data
+from repro.analysis.experiments import figure13_summary
+from repro.analysis.reporting import format_comparison, format_nested_mapping, print_report
+
+ORDER = ["base_close", "base_open", "sms", "vwq", "sms_vwq", "bump", "ideal"]
+
+
+def test_figure13_summary(benchmark, workloads):
+    summary = run_once(benchmark, figure13_summary, workloads)
+
+    print_report(format_nested_mapping(
+        {name: summary[name] for name in ORDER},
+        value_format="{:.3f}",
+        title="Figure 13: workload-averaged row-buffer hit ratio and memory energy",
+        columns=["row_buffer_hit_ratio", "energy_per_access_nj", "energy_normalized"]))
+    print_report(format_comparison(
+        {name: summary[name]["row_buffer_hit_ratio"] for name in ORDER if name != "base_close"},
+        paper_data.ROW_BUFFER_HIT_RATIO_AVG,
+        title="Row-buffer hit ratio vs. paper (averaged across workloads)"))
+
+    hits = {name: summary[name]["row_buffer_hit_ratio"] for name in ORDER}
+    energy = {name: summary[name]["energy_per_access_nj"] for name in ORDER}
+
+    # Row-buffer locality ordering of the paper's Figure 13.
+    assert hits["base_open"] < hits["sms"] < hits["bump"]
+    assert hits["vwq"] > hits["base_open"]
+    assert hits["sms_vwq"] >= hits["sms"]
+    assert hits["sms_vwq"] >= hits["vwq"] - 0.03
+    assert hits["bump"] > hits["sms_vwq"]
+    assert hits["ideal"] >= hits["bump"] - 0.02
+
+    # Energy ordering follows locality: BuMP beats every realisable baseline
+    # and only the oracle does better.
+    assert energy["bump"] < energy["sms"]
+    assert energy["bump"] < energy["vwq"]
+    assert energy["bump"] < energy["sms_vwq"]
+    assert energy["ideal"] <= energy["bump"] + 0.5
+    assert energy["bump"] < energy["base_open"] < energy["base_close"]

@@ -1,0 +1,49 @@
+"""Section VI -- design scalability and virtualization storage budgets.
+
+No simulation is involved: the benchmark instantiates the scaled BuMP
+structures and measures their storage, reproducing the numbers the section
+quotes (the ~14KB native design, the 72KB bulk history table and ~5KB per
+core under one-workload-per-core consolidation) and the linear-growth claims.
+"""
+
+from conftest import run_once
+
+from repro.analysis.reporting import format_table, print_report
+from repro.analysis.scalability import (
+    scaling_summary,
+    storage_scaling_table,
+    virtualization_storage_table,
+)
+
+
+def test_storage_scaling_with_cores(benchmark):
+    table = run_once(benchmark, storage_scaling_table, (16, 32, 64, 128))
+
+    rows = [[str(e.cores), f"{e.llc_mib:.0f}", f"{e.rdtt_kib:.1f}", f"{e.bht_kib:.1f}",
+             f"{e.drt_kib:.1f}", f"{e.total_kib:.1f}", f"{e.per_core_kib:.2f}"]
+            for e in table]
+    print_report("Section VI: BuMP storage vs CMP size\n" + format_table(
+        rows, headers=["cores", "LLC MiB", "RDTT KiB", "BHT KiB", "DRT KiB",
+                       "total KiB", "KiB/core"]))
+
+    totals = [entry.total_kib for entry in table]
+    per_core = [entry.per_core_kib for entry in table]
+    # Total storage grows with the machine, per-core cost stays bounded.
+    assert totals == sorted(totals)
+    assert max(per_core) < 3.0
+
+
+def test_virtualization_storage(benchmark):
+    table = run_once(benchmark, virtualization_storage_table, 16, (1, 2, 4, 8, 16))
+
+    rows = [[str(e.workloads_sharing), f"{e.bht_kib:.1f}", f"{e.total_kib:.1f}",
+             f"{e.per_core_kib:.2f}"] for e in table]
+    print_report("Section VI: BuMP storage vs consolidated workloads\n" + format_table(
+        rows, headers=["workloads", "BHT KiB", "total KiB", "KiB/core"]))
+
+    summary = scaling_summary()
+    # Native design lands near the ~14KB of Section IV.D.
+    assert 10.0 < summary["native_total_kib"] < 20.0
+    # Extreme consolidation: ~72KB BHT, ~5KB of BuMP storage per core.
+    assert 50.0 < summary["virtualized_bht_kib"] < 95.0
+    assert 3.0 < summary["virtualized_per_core_kib"] < 8.0

@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper.  The
+modules share an in-process result cache (see
+:mod:`repro.analysis.experiments`), so the whole suite costs roughly one
+simulation per (workload, system configuration) pair even though several
+figures consume the same runs.
+
+Two environment variables control the fidelity/runtime trade-off:
+
+* ``REPRO_EXPERIMENT_ACCESSES`` -- trace length per run (default 240000);
+* ``REPRO_BENCH_WORKLOADS`` -- comma-separated subset of workloads to run
+  (default: all six of the paper).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+import pytest
+
+from repro.workloads.catalog import workload_names
+
+
+def selected_workloads() -> List[str]:
+    """Workloads the harness should evaluate (env-var overridable)."""
+    raw = os.environ.get("REPRO_BENCH_WORKLOADS", "")
+    if not raw.strip():
+        return workload_names()
+    requested = [name.strip() for name in raw.split(",") if name.strip()]
+    known = set(workload_names())
+    unknown = [name for name in requested if name not in known]
+    if unknown:
+        raise ValueError(f"unknown workloads in REPRO_BENCH_WORKLOADS: {unknown}")
+    return requested
+
+
+@pytest.fixture(scope="session")
+def workloads() -> List[str]:
+    """The workload list shared by every benchmark module."""
+    return selected_workloads()
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark.
+
+    The experiments are deterministic end-to-end simulations, so a single
+    round is both sufficient and necessary (re-running them would only hit
+    the result cache and measure dictionary lookups).
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Datacenter energy study: where does server energy go, and what does BuMP buy?
+
+This example reproduces the paper's motivation (Figure 1) and payoff
+(Figures 9/13) in one script, across all six server workloads:
+
+1. break server energy down by component on the baseline system and show
+   that main memory -- and within it, page activations -- is a first-order
+   consumer;
+2. quantify how much dynamic memory energy per access BuMP saves versus the
+   close-row and open-row baselines;
+3. translate the per-access savings into a fleet-level estimate: for a
+   datacenter serving a fixed request rate, how many joules per million
+   requests the memory system sheds.
+
+Run it with::
+
+    python examples/datacenter_energy_study.py [--accesses 60000] [--workloads web_search,data_serving]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.reporting import format_table, print_report
+from repro.common.params import CacheParams, SystemParams
+from repro.sim import base_close, base_open, bump_system
+from repro.sim.runner import run_configs
+from repro.workloads.catalog import workload_names
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--accesses", type=int, default=60_000)
+    parser.add_argument("--workloads", default=",".join(workload_names()),
+                        help="comma-separated workload subset")
+    parser.add_argument("--llc-mb", type=int, default=1,
+                        help="LLC capacity in MiB (paper configuration: 4; the "
+                             "default 1MiB reaches steady state on short traces)")
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+    selected = [name.strip() for name in args.workloads.split(",") if name.strip()]
+    system = SystemParams().scaled(
+        llc=CacheParams(size_bytes=args.llc_mb * 1024 * 1024, associativity=16,
+                        hit_latency_cycles=8, banks=8)
+    )
+
+    breakdown_rows = []
+    savings_rows = []
+    for workload in selected:
+        print(f"Simulating {workload} ...")
+        configs = [config.with_overrides(system=system)
+                   for config in (base_close(), base_open(), bump_system())]
+        results = run_configs(workload, configs,
+                              num_accesses=args.accesses, seed=args.seed)
+        base = results["base_open"]
+        shares = base.energy.component_shares()
+        memory_share = (shares["memory_activation"] + shares["memory_burst_io"]
+                        + shares["memory_background"])
+        breakdown_rows.append([
+            workload,
+            f"{shares['cores']:.2f}",
+            f"{shares['llc'] + shares['noc'] + shares['memory_controller']:.2f}",
+            f"{memory_share:.2f}",
+            f"{shares['memory_activation']:.2f}",
+        ])
+
+        bump = results["bump"]
+        close = results["base_close"]
+        vs_open = 1.0 - bump.memory_energy_per_access_nj / base.memory_energy_per_access_nj
+        vs_close = 1.0 - bump.memory_energy_per_access_nj / close.memory_energy_per_access_nj
+        # Joules of dynamic memory energy per million memory accesses.
+        joules_per_maccess_base = base.memory_energy_per_access_nj * 1e6 * 1e-9
+        joules_per_maccess_bump = bump.memory_energy_per_access_nj * 1e6 * 1e-9
+        savings_rows.append([
+            workload,
+            f"{base.memory_energy_per_access_nj:.1f}",
+            f"{bump.memory_energy_per_access_nj:.1f}",
+            f"{vs_open:+.0%}",
+            f"{vs_close:+.0%}",
+            f"{joules_per_maccess_base - joules_per_maccess_bump:.2f} J",
+        ])
+
+    print_report(format_table(
+        breakdown_rows,
+        headers=["workload", "cores", "uncore", "memory", "  of which activation"],
+    ))
+    print("Memory is the single largest consumer on the baseline (Figure 1), and "
+          "page activations are a large slice of its dynamic component.")
+
+    print_report(format_table(
+        savings_rows,
+        headers=["workload", "base-open nJ/access", "BuMP nJ/access",
+                 "saving vs open", "saving vs close", "saved per M accesses"],
+    ))
+    print("BuMP's bulk streaming amortises activations over whole regions; the paper "
+          "reports 23% (vs. open-row) and 34% (vs. close-row) average reductions in "
+          "dynamic memory energy per access, alongside an 11% throughput gain.")
+
+
+if __name__ == "__main__":
+    main()

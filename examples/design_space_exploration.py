@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Design-space exploration: picking BuMP's region size and density threshold.
+
+Reproduces Figure 11 of the paper on a configurable workload subset: sweep
+the bulk-transfer region size (512B, 1KB, 2KB) and the high-density threshold
+(25%, 50%, 75%, 100% of the region's blocks) and report the memory energy per
+access improvement of each BuMP variant over the open-row baseline.
+
+The paper selects a 1KB region with an eight-block (50%) threshold: large
+enough to amortise activations over many transfers, selective enough to keep
+overfetch in check.
+
+Run it with::
+
+    python examples/design_space_exploration.py [--accesses 50000] [--workloads web_search]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.reporting import format_table, print_report
+from repro.common.params import CacheParams, SystemParams
+from repro.core.config import BuMPConfig
+from repro.sim import base_open, bump_system
+from repro.sim.runner import run_configs
+from repro.workloads.catalog import workload_names
+
+REGION_SIZES = (512, 1024, 2048)
+THRESHOLDS = (0.25, 0.5, 0.75, 1.0)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--accesses", type=int, default=60_000)
+    parser.add_argument("--workloads", default="web_search,data_serving",
+                        help="comma-separated workload subset to average over")
+    parser.add_argument("--llc-mb", type=int, default=1,
+                        help="LLC capacity in MiB (paper configuration: 4; the "
+                             "default 1MiB reaches steady state on short traces)")
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+    selected = [name.strip() for name in args.workloads.split(",") if name.strip()]
+    unknown = set(selected) - set(workload_names())
+    if unknown:
+        raise SystemExit(f"unknown workloads: {sorted(unknown)}")
+
+    system = SystemParams().scaled(
+        llc=CacheParams(size_bytes=args.llc_mb * 1024 * 1024, associativity=16,
+                        hit_latency_cycles=8, banks=8)
+    )
+    configs = [base_open().with_overrides(system=system)]
+    labels = {}
+    for region_size in REGION_SIZES:
+        for threshold in THRESHOLDS:
+            bump_config = BuMPConfig().with_region_size(region_size, threshold)
+            config = bump_system(bump=bump_config).with_overrides(
+                name=f"bump_r{region_size}_t{int(threshold * 100)}",
+                system=system,
+            )
+            labels[config.name] = (region_size, threshold)
+            configs.append(config)
+
+    improvements = {key: [] for key in labels.values()}
+    for workload in selected:
+        print(f"Sweeping BuMP configurations on {workload} ...")
+        results = run_configs(workload, configs, num_accesses=args.accesses,
+                              seed=args.seed)
+        baseline = results["base_open"].memory_energy_per_access_nj
+        for name, key in labels.items():
+            saving = 1.0 - results[name].memory_energy_per_access_nj / baseline
+            improvements[key].append(saving)
+
+    rows = []
+    for region_size in REGION_SIZES:
+        row = [f"{region_size} B"]
+        for threshold in THRESHOLDS:
+            values = improvements[(region_size, threshold)]
+            row.append(f"{sum(values) / len(values):+.1%}")
+        rows.append(row)
+    print_report(format_table(
+        rows, headers=["region size"] + [f"threshold {int(t*100)}%" for t in THRESHOLDS]))
+
+    best = max(improvements, key=lambda key: sum(improvements[key]))
+    print(f"Best configuration on this sweep: {best[0]}B regions with a "
+          f"{int(best[1] * 100)}% threshold; the paper selects 1024B / 50%.")
+
+
+if __name__ == "__main__":
+    main()

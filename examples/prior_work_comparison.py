@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Related-work comparison: BuMP against the prefetchers and writeback schemes
+it is positioned against in Sections II and VII.
+
+Read side: next-line, stride, Stealth-style region prefetching, SMS and BuMP.
+Write side: demand-only writeback, age-based eager writeback, VWQ, BuMP and
+BuMP+VWQ (footnote 1).  For each mechanism the example reports coverage,
+overfetch/extra traffic, DRAM row-buffer locality and predictor storage --
+the axes on which the paper differentiates code-correlated bulk streaming
+from its alternatives.
+
+Run it with::
+
+    python examples/prior_work_comparison.py [--accesses 80000] [--workloads web_search,data_serving]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.ablations import prefetcher_comparison, writeback_mechanism_study
+from repro.analysis.reporting import format_nested_mapping, print_report
+from repro.core.bump import BuMPPredictor
+from repro.prefetch import (
+    NextLinePrefetcher,
+    SpatialMemoryStreaming,
+    StealthPrefetcher,
+    StridePrefetcher,
+)
+from repro.workloads.catalog import workload_names
+
+
+def storage_table() -> str:
+    """Predictor storage of each read-side mechanism (Section VII's axis)."""
+    mechanisms = {
+        "nextline": NextLinePrefetcher(),
+        "stride": StridePrefetcher(),
+        "sms": SpatialMemoryStreaming(),
+        "stealth": StealthPrefetcher(),
+        "bump": BuMPPredictor(),
+    }
+    rows = {
+        name: {"storage_kib": mechanism.storage_bits() / 8 / 1024}
+        for name, mechanism in mechanisms.items()
+    }
+    return format_nested_mapping(rows, value_format="{:.1f}",
+                                 title="Predictor storage (KiB)",
+                                 columns=["storage_kib"])
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workloads", default="web_search,data_serving",
+                        help="comma-separated workload subset")
+    parser.add_argument("--accesses", type=int, default=80_000,
+                        help="trace length per (workload, system) run")
+    args = parser.parse_args()
+
+    selected = [name.strip() for name in args.workloads.split(",") if name.strip()]
+    unknown = [name for name in selected if name not in workload_names()]
+    if unknown:
+        raise SystemExit(f"unknown workloads: {unknown}")
+
+    print_report(storage_table())
+
+    reads = prefetcher_comparison(workloads=selected, num_accesses=args.accesses)
+    print_report(format_nested_mapping(
+        reads, value_format="{:.3f}",
+        title=f"\nRead-side mechanisms ({', '.join(selected)}, {args.accesses} accesses)",
+        columns=["read_coverage", "read_overfetch", "row_buffer_hit_ratio"]))
+
+    writes = writeback_mechanism_study(workloads=selected, num_accesses=args.accesses)
+    print_report(format_nested_mapping(
+        writes, value_format="{:.3f}",
+        title="\nWrite-side mechanisms",
+        columns=["write_coverage", "row_buffer_hit_ratio", "dram_writes"]))
+
+    print_report(
+        "\nReading the tables: BuMP reaches SMS-class read coverage and the best\n"
+        "row-buffer locality at a fraction of Stealth's storage, and it streams\n"
+        "writebacks that the read-only prefetchers ignore; combining it with VWQ\n"
+        "(bump_vwq) picks up the writeback locality outside high-density regions."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Regenerate every figure and table of the paper in one run.
+
+This is the command-line face of :mod:`repro.analysis.experiments`: it runs
+the full experiment matrix (every workload through every evaluated system
+configuration), prints each figure/table as a text report, and — where the
+paper gives a directly comparable number — prints the paper's value next to
+the measured one.
+
+The benchmark harness (``pytest benchmarks/ --benchmark-only``) runs the same
+experiments with assertions; this script is for interactive use and for
+producing a standalone report file::
+
+    python examples/run_all_experiments.py --accesses 240000 | tee report.txt
+
+Use ``--accesses`` to trade fidelity for runtime (values below ~150000 leave
+the paper-sized 4MB LLC only partially warmed) and ``--workloads`` to
+restrict the set.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import experiments, paper_data
+from repro.analysis.reporting import (
+    format_comparison,
+    format_nested_mapping,
+    format_table,
+    print_report,
+)
+from repro.workloads.catalog import workload_names
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--accesses", type=int, default=experiments.DEFAULT_ACCESSES)
+    parser.add_argument("--workloads", default=",".join(workload_names()))
+    parser.add_argument("--skip-design-space", action="store_true",
+                        help="skip the Figure 11 sweep (the slowest experiment)")
+    args = parser.parse_args()
+    selected = [name.strip() for name in args.workloads.split(",") if name.strip()]
+    accesses = args.accesses
+
+    print_report(format_nested_mapping(
+        experiments.figure1_energy_breakdown(selected, accesses),
+        value_format="{:.2f}", title="Figure 1: server energy shares (Base-open)"))
+
+    print_report(format_nested_mapping(
+        experiments.figure2_row_buffer_hit(selected, accesses),
+        value_format="{:.2f}",
+        title="Figure 2: DRAM row-buffer hit ratio",
+        columns=["base_open", "sms", "vwq", "ideal"]))
+
+    print_report(format_nested_mapping(
+        experiments.figure3_traffic_breakdown(selected, accesses),
+        value_format="{:.2f}",
+        title="Figure 3: DRAM access mix",
+        columns=["load_reads", "store_reads", "writes"]))
+
+    density = experiments.figure5_region_density(selected, accesses)
+    print_report(format_nested_mapping(
+        {wl: entry["reads"] for wl, entry in density.items()},
+        value_format="{:.2f}", title="Figure 5 (reads): region density",
+        columns=["low", "medium", "high"]))
+    print_report(format_nested_mapping(
+        {wl: entry["writes"] for wl, entry in density.items()},
+        value_format="{:.2f}", title="Figure 5 (writes): region density",
+        columns=["low", "medium", "high"]))
+
+    print_report(format_comparison(
+        experiments.table1_late_writes(selected, accesses),
+        paper_data.TABLE1_LATE_WRITES,
+        title="Table I: late writes after the first dirty eviction",
+        value_format="{:.3f}"))
+
+    accuracy = experiments.figure8_prediction_accuracy(selected, accesses)
+    print_report(format_nested_mapping(
+        {wl: entry["bump"] for wl, entry in accuracy.items()},
+        value_format="{:.2f}", title="Figure 8 (BuMP): coverage and waste"))
+    print_report(format_nested_mapping(
+        {wl: entry["full_region"] for wl, entry in accuracy.items()},
+        value_format="{:.2f}", title="Figure 8 (Full-region): coverage and waste"))
+
+    energy = experiments.figure9_energy_per_access(selected, accesses)
+    print_report(format_nested_mapping(
+        {wl: {name: row["normalized"] for name, row in entry.items()}
+         for wl, entry in energy.items()},
+        value_format="{:.2f}",
+        title="Figure 9: memory energy per access (normalised to Base-close)",
+        columns=["base_close", "base_open", "full_region", "bump"]))
+
+    print_report(format_nested_mapping(
+        experiments.figure10_performance(selected, accesses),
+        value_format="{:+.2%}",
+        title="Figure 10: throughput improvement over Base-close",
+        columns=["base_open", "full_region", "bump"]))
+
+    if not args.skip_design_space:
+        sweep = experiments.figure11_design_space(
+            selected, num_accesses=max(accesses // 2, 60_000))
+        rows = []
+        for region_size in (512, 1024, 2048):
+            rows.append([str(region_size)] + [
+                f"{sweep[(region_size, threshold)]:+.1%}"
+                for threshold in (0.25, 0.5, 0.75, 1.0)
+            ])
+        print_report("Figure 11: energy improvement over Base-open\n" + format_table(
+            rows, headers=["region size (B)", "thr 25%", "thr 50%", "thr 75%", "thr 100%"]))
+
+    print_report(format_nested_mapping(
+        experiments.figure12_onchip_overheads(selected, accesses),
+        value_format="{:.2f}",
+        title="Figure 12: BuMP on-chip overheads (normalised to Base-open)"))
+
+    summary = experiments.figure13_summary(selected, accesses)
+    print_report(format_nested_mapping(
+        summary, value_format="{:.3f}",
+        title="Figure 13: cross-system summary (averaged across workloads)",
+        columns=["row_buffer_hit_ratio", "energy_per_access_nj", "energy_normalized"]))
+    print_report(format_comparison(
+        {name: summary[name]["row_buffer_hit_ratio"] for name in summary
+         if name in paper_data.ROW_BUFFER_HIT_RATIO_AVG},
+        paper_data.ROW_BUFFER_HIT_RATIO_AVG,
+        title="Row-buffer hit ratio vs. paper"))
+
+    print_report(format_comparison(
+        experiments.table4_bump_row_hits(selected, accesses),
+        paper_data.TABLE4_BUMP_ROW_HITS,
+        title="Table IV: BuMP row-buffer hit ratio"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Section VI walkthrough: design scalability, virtualization and scheduling.
+
+Three questions the paper answers in prose are reproduced quantitatively:
+
+1. How does BuMP's storage grow with the CMP (cores, LLC capacity)?
+2. What does workload consolidation (virtualization) do to the bulk history
+   table, and does the per-core cost stay small?
+3. Does BuMP still help when the memory controller uses a fairness-oriented
+   scheduling policy instead of FR-FCFS?
+
+Run it with::
+
+    python examples/scalability_virtualization.py [--accesses 60000] [--workload web_search]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.ablations import scheduler_policy_study
+from repro.analysis.reporting import format_nested_mapping, format_table, print_report
+from repro.analysis.scalability import (
+    scaling_summary,
+    storage_scaling_table,
+    virtualization_storage_table,
+)
+from repro.workloads.catalog import workload_names
+
+
+def print_scaling_tables() -> None:
+    """Storage growth with CMP size and with consolidated workloads."""
+    rows = [[str(e.cores), f"{e.llc_mib:.0f}", f"{e.rdtt_kib:.1f}", f"{e.bht_kib:.1f}",
+             f"{e.drt_kib:.1f}", f"{e.total_kib:.1f}", f"{e.per_core_kib:.2f}"]
+            for e in storage_scaling_table()]
+    print_report("BuMP storage versus CMP size (LLC scaled with cores)")
+    print_report(format_table(rows, headers=["cores", "LLC MiB", "RDTT KiB", "BHT KiB",
+                                             "DRT KiB", "total KiB", "KiB/core"]))
+
+    rows = [[str(e.workloads_sharing), f"{e.bht_kib:.1f}", f"{e.total_kib:.1f}",
+             f"{e.per_core_kib:.2f}"]
+            for e in virtualization_storage_table()]
+    print_report("\nBuMP storage versus consolidated workloads (one BHT share per workload)")
+    print_report(format_table(rows, headers=["workloads", "BHT KiB", "total KiB",
+                                             "KiB/core"]))
+
+    summary = scaling_summary()
+    print_report(
+        f"\nNative design: {summary['native_total_kib']:.1f} KiB total "
+        f"({summary['native_per_core_kib']:.2f} KiB/core); extreme consolidation: "
+        f"{summary['virtualized_bht_kib']:.0f} KiB BHT, "
+        f"{summary['virtualized_per_core_kib']:.1f} KiB/core "
+        "(the paper quotes ~14 KiB, 72 KiB and ~5 KiB respectively)."
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="web_search", choices=workload_names())
+    parser.add_argument("--accesses", type=int, default=60_000,
+                        help="trace length for the scheduling-policy study")
+    args = parser.parse_args()
+
+    print_scaling_tables()
+
+    policies = scheduler_policy_study(policies=("fcfs", "frfcfs", "bank_round_robin"),
+                                      workloads=[args.workload],
+                                      num_accesses=args.accesses)
+    print_report(format_nested_mapping(
+        policies, value_format="{:.3f}",
+        title=f"\nBuMP under different scheduling policies ({args.workload})",
+        columns=["row_buffer_hit_ratio", "energy_per_access_nj"]))
+    print_report(
+        "\nFR-FCFS recovers the most row locality; the core-rotating fair scheduler\n"
+        "stays close because bulk transfers arrive at the controller back-to-back,\n"
+        "which is why Section VI argues BuMP composes with fairness-oriented policies."
+    )
+
+
+if __name__ == "__main__":
+    main()

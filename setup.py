@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so the
+package can be installed in editable mode (``pip install -e .``) on
+environments whose setuptools/pip combination lacks the ``wheel`` package
+required by PEP 660 editable builds (pip then falls back to the legacy
+``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

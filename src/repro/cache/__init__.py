@@ -1,0 +1,37 @@
+"""Cache hierarchy substrate.
+
+The trace-driven system models two cache levels, matching Table II of the
+paper:
+
+* per-core 32KB 2-way L1 data caches (:class:`repro.cache.l1.L1DataCache`)
+  that filter the processor reference stream before it reaches the shared
+  LLC;
+* a shared 4MB 16-way last-level cache (:class:`repro.cache.llc.LastLevelCache`)
+  whose access, miss, fill and eviction streams feed the prefetchers, the
+  eager-writeback engine and BuMP.
+
+Both levels are built on the same generic
+:class:`repro.cache.set_assoc.SetAssociativeCache` with true-LRU replacement
+and write-back/write-allocate semantics.  Components that want to observe or
+inject LLC traffic implement the :class:`repro.cache.agent.LLCAgent`
+interface.
+"""
+
+from repro.cache.agent import AgentActions, LLCAgent
+from repro.cache.l1 import L1DataCache
+from repro.cache.llc import LastLevelCache
+from repro.cache.replacement import LRUPolicy, RandomPolicy, ReplacementPolicy
+from repro.cache.set_assoc import CacheLine, EvictedLine, SetAssociativeCache
+
+__all__ = [
+    "AgentActions",
+    "LLCAgent",
+    "L1DataCache",
+    "LastLevelCache",
+    "LRUPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "CacheLine",
+    "EvictedLine",
+    "SetAssociativeCache",
+]

@@ -1,0 +1,75 @@
+"""Per-core L1 data cache used as a filter in front of the shared LLC.
+
+The L1 model is intentionally simple: it captures the short-term temporal and
+spatial reuse that never reaches the LLC, so that the LLC observes a
+realistic, filtered reference stream.  Write misses allocate (write-allocate)
+and writes mark the block dirty; a dirty L1 eviction is reported to the
+caller so it can be forwarded to the LLC as a write (this is how store
+traffic eventually becomes dirty LLC blocks and, later, DRAM writes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.addressing import block_address
+from repro.common.params import CacheParams
+from repro.cache.set_assoc import EvictedLine, SetAssociativeCache
+
+
+@dataclass
+class L1Result:
+    """Outcome of presenting one processor access to the L1."""
+
+    hit: bool
+    #: Dirty blocks evicted from the L1 by this access's fill (at most one).
+    writebacks: List[EvictedLine]
+
+
+class L1DataCache:
+    """One core's private L1 data cache."""
+
+    def __init__(self, params: CacheParams, core: int) -> None:
+        self.core = core
+        self._cache = SetAssociativeCache(params, name=f"l1d{core}")
+
+    def access(self, address: int, is_store: bool, pc: int = 0) -> L1Result:
+        """Present a load or store to the L1.
+
+        On a miss the block is allocated immediately (the caller is expected
+        to fetch it from the LLC / memory); the result reports any dirty
+        victim that the allocation displaced so the caller can forward the
+        writeback to the LLC.
+        """
+        block = block_address(address)
+        line = self._cache.access(block, is_write=is_store)
+        if line is not None:
+            return L1Result(hit=True, writebacks=[])
+
+        victim = self._cache.fill(block, dirty=is_store, pc=pc, core=self.core)
+        writebacks = [victim] if victim is not None and victim.dirty else []
+        return L1Result(hit=False, writebacks=writebacks)
+
+    def invalidate(self, address: int) -> None:
+        """Drop a block (used when the LLC evicts a block under inclusion)."""
+        self._cache.invalidate(block_address(address))
+
+    def contains(self, address: int) -> bool:
+        """True when the block holding ``address`` is resident."""
+        return self._cache.contains(block_address(address))
+
+    def lookup_dirty(self, address: int) -> bool:
+        """True when the block holding ``address`` is resident and dirty."""
+        line = self._cache.lookup(block_address(address))
+        return line is not None and line.dirty
+
+    @property
+    def stats(self):
+        """Statistics group of the underlying cache array."""
+        return self._cache.stats
+
+    @property
+    def hit_ratio(self) -> float:
+        """Demand hit ratio of this L1."""
+        return self._cache.hit_ratio

@@ -1,0 +1,146 @@
+"""Shared last-level cache.
+
+The LLC is the vantage point of every mechanism the paper studies: the stride
+and SMS prefetchers, the VWQ eager-writeback engine and BuMP all sit next to
+it and observe its access, miss, fill and eviction streams.  The model
+therefore exposes those streams explicitly and keeps the bookkeeping needed
+by the evaluation:
+
+* hit/miss counts and the dirty-eviction (writeback) stream;
+* prefetched-but-never-used blocks, which become *overfetch* when evicted;
+* an operation counter approximating LLC bandwidth consumption, used by the
+  on-chip overhead analysis of Figure 12 (demand lookups, fills, prefetch
+  fills, eager-writeback probes all consume an LLC port slot).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.params import CacheParams
+from repro.common.stats import StatGroup
+from repro.cache.set_assoc import CacheLine, EvictedLine, SetAssociativeCache
+
+
+class LastLevelCache:
+    """The shared, unified LLC of the simulated CMP."""
+
+    def __init__(self, params: CacheParams) -> None:
+        self.params = params
+        self._cache = SetAssociativeCache(params, name="llc")
+        self.stats = StatGroup("llc")
+
+    # ------------------------------------------------------------------ #
+    # Demand path
+    # ------------------------------------------------------------------ #
+    def access(self, block_address: int, is_write: bool) -> Optional[CacheLine]:
+        """Demand access from a core (after the L1 filter).
+
+        Returns the hit line or ``None`` on a miss.  The caller is responsible
+        for fetching the block from memory and calling :meth:`fill`.
+        """
+        self.stats.inc("traffic_ops")
+        line = self._cache.access(block_address, is_write=is_write)
+        if line is None:
+            self.stats.inc("demand_misses")
+        else:
+            self.stats.inc("demand_hits")
+            if line.prefetched and not self._counted_as_used(line):
+                # access() already flipped the used bit; nothing more to do.
+                pass
+        return line
+
+    @staticmethod
+    def _counted_as_used(line: CacheLine) -> bool:
+        return line.used
+
+    def fill(self, block_address: int, dirty: bool = False, prefetched: bool = False,
+             pc: int = 0, core: int = 0) -> Optional[EvictedLine]:
+        """Install a block fetched from memory; return the victim, if any."""
+        self.stats.inc("traffic_ops")
+        self.stats.inc("prefetch_fills" if prefetched else "demand_fills")
+        victim = self._cache.fill(
+            block_address, dirty=dirty, prefetched=prefetched, pc=pc, core=core
+        )
+        if victim is not None:
+            self.stats.inc("evictions")
+            if victim.dirty:
+                self.stats.inc("dirty_evictions")
+            if victim.prefetched and not victim.used:
+                self.stats.inc("overfetched_blocks")
+        return victim
+
+    def write_from_l1(self, block_address: int, pc: int = 0, core: int = 0) -> Optional[EvictedLine]:
+        """Receive a dirty block written back from an L1 cache.
+
+        If the block is resident it is simply marked dirty; otherwise it is
+        allocated dirty (the L1 held the only copy).  Returns any LLC victim
+        displaced by the allocation.
+        """
+        self.stats.inc("traffic_ops")
+        line = self._cache.lookup(block_address, touch=True)
+        if line is not None:
+            line.dirty = True
+            return None
+        return self.fill(block_address, dirty=True, pc=pc, core=core)
+
+    # ------------------------------------------------------------------ #
+    # Probes used by prefetchers and eager-writeback engines
+    # ------------------------------------------------------------------ #
+    def contains(self, block_address: int) -> bool:
+        """Non-allocating presence check (does not update LRU)."""
+        return self._cache.contains(block_address)
+
+    def probe(self, block_address: int, count_traffic: bool = True) -> Optional[CacheLine]:
+        """Non-allocating lookup used by eager-writeback engines.
+
+        VWQ and BuMP's writeback generation logic probe the LLC for a
+        region's other blocks; each probe consumes LLC bandwidth, which the
+        overhead analysis accounts for.
+        """
+        if count_traffic:
+            self.stats.inc("traffic_ops")
+            self.stats.inc("probe_ops")
+        return self._cache.lookup(block_address)
+
+    def clean(self, block_address: int, count_traffic: bool = True) -> bool:
+        """Clear the dirty bit of a resident block (eager writeback).
+
+        Returns True when the block was resident and dirty, i.e. a writeback
+        to DRAM was actually generated for it.
+        """
+        if count_traffic:
+            self.stats.inc("traffic_ops")
+        cleaned = self._cache.clean(block_address)
+        if cleaned:
+            self.stats.inc("eager_cleaned_blocks")
+        return cleaned
+
+    def invalidate(self, block_address: int) -> Optional[CacheLine]:
+        """Remove a block from the LLC (test helper)."""
+        return self._cache.invalidate(block_address)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def resident_count(self) -> int:
+        """Number of blocks currently resident in the LLC."""
+        return self._cache.resident_count()
+
+    def dirty_blocks_in_region(self, region_base: int, region_size: int) -> List[int]:
+        """Block addresses inside a region that are resident and dirty."""
+        lines = self._cache.resident_blocks_in_region(region_base, region_size)
+        return [line.block_address for line in lines if line.dirty]
+
+    @property
+    def demand_hit_ratio(self) -> float:
+        """Fraction of demand accesses that hit in the LLC."""
+        total = self.stats["demand_hits"] + self.stats["demand_misses"]
+        if total == 0:
+            return 0.0
+        return self.stats["demand_hits"] / total
+
+    @property
+    def array_stats(self) -> StatGroup:
+        """Statistics of the underlying cache array (fills, evictions, ...)."""
+        return self._cache.stats

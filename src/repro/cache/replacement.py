@@ -1,0 +1,69 @@
+"""Replacement policies for the set-associative caches.
+
+The paper's caches use LRU; the random policy exists for ablation studies and
+as a sanity baseline in tests (it must never outperform LRU on a trace with
+temporal locality by a large margin, which a property test checks).
+
+A policy operates on one cache *set*.  The set itself stores its resident
+lines in an insertion-ordered dict; the policy only decides which tag to evict
+and how to reorder on an access.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, Optional
+
+
+class ReplacementPolicy(ABC):
+    """Interface implemented by every replacement policy."""
+
+    @abstractmethod
+    def on_access(self, cache_set: Dict[int, object], tag: int) -> None:
+        """Record that ``tag`` was referenced in ``cache_set``."""
+
+    @abstractmethod
+    def victim(self, cache_set: Dict[int, object]) -> int:
+        """Return the tag of the line to evict from a full ``cache_set``."""
+
+
+class LRUPolicy(ReplacementPolicy):
+    """True least-recently-used replacement.
+
+    Sets are ordinary ``dict`` objects, which preserve insertion order; moving
+    a line to the most-recently-used position is a delete + reinsert, and the
+    victim is simply the first key.
+    """
+
+    def on_access(self, cache_set: Dict[int, object], tag: int) -> None:
+        line = cache_set.pop(tag)
+        cache_set[tag] = line
+
+    def victim(self, cache_set: Dict[int, object]) -> int:
+        return next(iter(cache_set))
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform-random replacement, for ablations and tests."""
+
+    def __init__(self, seed: int = 1234) -> None:
+        self._rng = random.Random(seed)
+
+    def on_access(self, cache_set: Dict[int, object], tag: int) -> None:
+        # Random replacement keeps no recency state.
+        return None
+
+    def victim(self, cache_set: Dict[int, object]) -> int:
+        keys = list(cache_set)
+        return keys[self._rng.randrange(len(keys))]
+
+
+def make_policy(name: str, seed: Optional[int] = None) -> ReplacementPolicy:
+    """Construct a replacement policy by name (``"lru"`` or ``"random"``)."""
+    lowered = name.lower()
+    if lowered == "lru":
+        return LRUPolicy()
+    if lowered == "random":
+        return RandomPolicy(seed if seed is not None else 1234)
+    raise ValueError(f"unknown replacement policy: {name!r}")

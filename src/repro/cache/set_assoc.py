@@ -1,0 +1,218 @@
+"""Generic set-associative, write-back, write-allocate cache model.
+
+The model is block-granular and state-only: it tracks which blocks are
+resident, their dirty bits and a handful of prediction-related flags
+(prefetched-but-unused, triggering PC).  It does not move data.  Both the
+per-core L1 data caches and the shared LLC are instances of this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.common.addressing import BLOCK_BITS
+from repro.common.params import CacheParams
+from repro.common.stats import StatGroup
+from repro.cache.replacement import LRUPolicy, ReplacementPolicy
+
+
+class CacheLine:
+    """State of one resident cache block."""
+
+    __slots__ = ("block_address", "dirty", "prefetched", "used", "pc", "core")
+
+    def __init__(self, block_address: int, dirty: bool = False,
+                 prefetched: bool = False, pc: int = 0, core: int = 0) -> None:
+        self.block_address = block_address
+        self.dirty = dirty
+        self.prefetched = prefetched
+        #: True once a demand access touched the line after it was filled.
+        self.used = not prefetched
+        self.pc = pc
+        self.core = core
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "".join(
+            flag
+            for flag, present in (("D", self.dirty), ("P", self.prefetched), ("U", self.used))
+            if present
+        )
+        return f"CacheLine(0x{self.block_address:x}, {flags})"
+
+
+@dataclass
+class EvictedLine:
+    """Summary of a line pushed out of the cache by a fill."""
+
+    block_address: int
+    dirty: bool
+    prefetched: bool
+    used: bool
+    pc: int = 0
+    core: int = 0
+
+
+class SetAssociativeCache:
+    """A set-associative cache holding :class:`CacheLine` entries.
+
+    The cache exposes the minimum surface the simulator needs:
+
+    * :meth:`lookup` / :meth:`contains` -- probe without allocating;
+    * :meth:`access` -- demand reference (read or write) that updates LRU and
+      dirty state but never allocates;
+    * :meth:`fill` -- allocate a block, returning the victim if one had to be
+      evicted;
+    * :meth:`invalidate` and :meth:`clean` -- used by eager-writeback engines
+      that push dirty data to memory ahead of eviction;
+    * :meth:`resident_blocks_in_region` -- used by the bulk-writeback logic to
+      find a region's cache-resident blocks.
+    """
+
+    def __init__(self, params: CacheParams, name: str = "cache",
+                 policy: Optional[ReplacementPolicy] = None) -> None:
+        self.params = params
+        self.name = name
+        self.policy = policy if policy is not None else LRUPolicy()
+        self.num_sets = params.num_sets
+        self._set_mask = self.num_sets - 1
+        if self.num_sets & self._set_mask:
+            raise ValueError("number of sets must be a power of two")
+        self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(self.num_sets)]
+        self.stats = StatGroup(name)
+
+    # ------------------------------------------------------------------ #
+    # Address helpers
+    # ------------------------------------------------------------------ #
+    def _set_index(self, block_address: int) -> int:
+        return (block_address >> BLOCK_BITS) & self._set_mask
+
+    # ------------------------------------------------------------------ #
+    # Probing
+    # ------------------------------------------------------------------ #
+    def lookup(self, block_address: int, touch: bool = False) -> Optional[CacheLine]:
+        """Return the resident line for ``block_address`` or ``None``.
+
+        When ``touch`` is true the line is promoted to most-recently-used.
+        """
+        cache_set = self._sets[self._set_index(block_address)]
+        line = cache_set.get(block_address)
+        if line is not None and touch:
+            self.policy.on_access(cache_set, block_address)
+        return line
+
+    def contains(self, block_address: int) -> bool:
+        """True when ``block_address`` is resident."""
+        return block_address in self._sets[self._set_index(block_address)]
+
+    # ------------------------------------------------------------------ #
+    # Demand accesses and fills
+    # ------------------------------------------------------------------ #
+    def access(self, block_address: int, is_write: bool = False) -> Optional[CacheLine]:
+        """Perform a demand access; return the line on a hit, ``None`` on a miss.
+
+        A write hit sets the dirty bit.  The access never allocates -- callers
+        issue a :meth:`fill` after fetching the block from the next level.
+        """
+        cache_set = self._sets[self._set_index(block_address)]
+        line = cache_set.get(block_address)
+        if line is None:
+            self.stats.inc("misses")
+            return None
+        self.policy.on_access(cache_set, block_address)
+        self.stats.inc("hits")
+        if is_write:
+            line.dirty = True
+        if not line.used:
+            line.used = True
+            self.stats.inc("prefetch_hits")
+        return line
+
+    def fill(self, block_address: int, dirty: bool = False, prefetched: bool = False,
+             pc: int = 0, core: int = 0) -> Optional[EvictedLine]:
+        """Allocate ``block_address``; return the evicted victim, if any.
+
+        Filling a block that is already resident merges the dirty bit and
+        returns ``None`` (no eviction).
+        """
+        set_index = self._set_index(block_address)
+        cache_set = self._sets[set_index]
+        existing = cache_set.get(block_address)
+        if existing is not None:
+            existing.dirty = existing.dirty or dirty
+            self.policy.on_access(cache_set, block_address)
+            return None
+
+        victim: Optional[EvictedLine] = None
+        if len(cache_set) >= self.params.associativity:
+            victim_tag = self.policy.victim(cache_set)
+            victim_line = cache_set.pop(victim_tag)
+            victim = EvictedLine(
+                block_address=victim_line.block_address,
+                dirty=victim_line.dirty,
+                prefetched=victim_line.prefetched,
+                used=victim_line.used,
+                pc=victim_line.pc,
+                core=victim_line.core,
+            )
+            self.stats.inc("evictions")
+            if victim.dirty:
+                self.stats.inc("dirty_evictions")
+            if victim.prefetched and not victim.used:
+                self.stats.inc("unused_prefetch_evictions")
+
+        cache_set[block_address] = CacheLine(
+            block_address, dirty=dirty, prefetched=prefetched, pc=pc, core=core
+        )
+        self.stats.inc("fills")
+        return victim
+
+    # ------------------------------------------------------------------ #
+    # Maintenance operations used by eager writeback / bulk streaming
+    # ------------------------------------------------------------------ #
+    def invalidate(self, block_address: int) -> Optional[CacheLine]:
+        """Remove ``block_address`` from the cache, returning its old line."""
+        cache_set = self._sets[self._set_index(block_address)]
+        return cache_set.pop(block_address, None)
+
+    def clean(self, block_address: int) -> bool:
+        """Clear the dirty bit of a resident block.
+
+        Returns True when the block was resident and dirty (i.e. an eager
+        writeback of the block is meaningful).
+        """
+        line = self.lookup(block_address)
+        if line is not None and line.dirty:
+            line.dirty = False
+            return True
+        return False
+
+    def resident_blocks_in_region(self, region_base: int, region_size: int,
+                                  block_size: int = 1 << BLOCK_BITS) -> List[CacheLine]:
+        """Return the resident lines whose addresses fall inside a region."""
+        lines = []
+        for offset in range(0, region_size, block_size):
+            line = self.lookup(region_base + offset)
+            if line is not None:
+                lines.append(line)
+        return lines
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def resident_count(self) -> int:
+        """Total number of blocks currently resident."""
+        return sum(len(s) for s in self._sets)
+
+    def iter_lines(self) -> Iterable[CacheLine]:
+        """Iterate over every resident line (test/debug helper)."""
+        for cache_set in self._sets:
+            yield from cache_set.values()
+
+    @property
+    def hit_ratio(self) -> float:
+        """Demand hit ratio observed so far."""
+        accesses = self.stats["hits"] + self.stats["misses"]
+        if accesses == 0:
+            return 0.0
+        return self.stats["hits"] / accesses

@@ -1,0 +1,266 @@
+"""Command-line interface.
+
+Installed as ``repro-bump`` (and reachable as ``python -m repro``), the CLI
+exposes the library's main entry points without writing any Python:
+
+=====================  =====================================================
+Command                Purpose
+=====================  =====================================================
+``workloads``          list the available synthetic server workloads
+``characterize``       static trace statistics for one workload
+``run``                simulate one workload under one system configuration
+``compare``            simulate one workload under several configurations
+``experiment``         regenerate one paper figure/table and print its rows
+``scaling``            print the Section VI storage-scaling tables
+``trace``              generate a workload trace and save it to disk
+=====================  =====================================================
+
+Every command prints plain text to stdout; exit status is zero on success,
+two on argument errors (argparse's convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis import experiments
+from repro.analysis.reporting import format_table
+from repro.analysis.scalability import storage_scaling_table, virtualization_storage_table
+from repro.sim.config import extended_configs, named_configs
+from repro.sim.runner import build_trace, run_trace
+from repro.trace.io import save_trace
+from repro.trace.stats import characterize_trace
+from repro.workloads.catalog import display_name, workload_names
+
+#: Experiment functions reachable through ``repro-bump experiment <name>``.
+EXPERIMENTS: Dict[str, Callable] = {
+    "figure1": experiments.figure1_energy_breakdown,
+    "figure2": experiments.figure2_row_buffer_hit,
+    "figure3": experiments.figure3_traffic_breakdown,
+    "figure5": experiments.figure5_region_density,
+    "figure8": experiments.figure8_prediction_accuracy,
+    "figure9": experiments.figure9_energy_per_access,
+    "figure10": experiments.figure10_performance,
+    "figure11": experiments.figure11_design_space,
+    "figure12": experiments.figure12_onchip_overheads,
+    "figure13": experiments.figure13_summary,
+    "table1": experiments.table1_late_writes,
+    "table4": experiments.table4_bump_row_hits,
+}
+
+
+def _all_config_names() -> List[str]:
+    return sorted(set(named_configs()) | set(extended_configs()))
+
+
+def _resolve_config(name: str):
+    try:
+        return named_configs([name])[name]
+    except KeyError:
+        known = ", ".join(_all_config_names())
+        raise SystemExit(f"unknown system {name!r}; known systems: {known}")
+
+
+def _print(text: str) -> None:
+    sys.stdout.write(text + "\n")
+
+
+# --------------------------------------------------------------------- #
+# Sub-command implementations
+# --------------------------------------------------------------------- #
+def cmd_workloads(args: argparse.Namespace) -> int:
+    rows = [[name, display_name(name)] for name in workload_names()]
+    _print(format_table(rows, headers=["name", "description"]))
+    return 0
+
+
+def cmd_characterize(args: argparse.Namespace) -> int:
+    trace = build_trace(args.workload, args.accesses, num_cores=args.cores,
+                        seed=args.seed)
+    stats = characterize_trace(trace)
+    rows = [[key, f"{value:.4g}"] for key, value in stats.summary().items()]
+    _print(format_table(rows, headers=["metric", "value"]))
+    histogram = stats.region_density_histogram()
+    rows = [[bucket, f"{share:.1%}"] for bucket, share in histogram.items()]
+    _print(format_table(rows, headers=["region density (static)", "share of regions"]))
+    return 0
+
+
+def _result_rows(result) -> List[List[str]]:
+    summary = result.summary()
+    return [[key, f"{value:.4g}"] for key, value in summary.items()]
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    config = _resolve_config(args.system)
+    trace = build_trace(args.workload, args.accesses, num_cores=args.cores,
+                        seed=args.seed)
+    result = run_trace(trace, config, workload_name=args.workload,
+                       warmup_fraction=args.warmup)
+    _print(f"{display_name(args.workload)} under {config.name}")
+    _print(format_table(_result_rows(result), headers=["metric", "value"]))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    systems = [name.strip() for name in args.systems.split(",") if name.strip()]
+    if not systems:
+        raise SystemExit("no systems requested")
+    configs = [_resolve_config(name) for name in systems]
+    trace = build_trace(args.workload, args.accesses, num_cores=args.cores,
+                        seed=args.seed)
+    metrics = ["row_buffer_hit_ratio", "read_coverage", "write_coverage",
+               "energy_per_access_nj", "throughput_ipc"]
+    rows = []
+    for config in configs:
+        result = run_trace(trace, config, workload_name=args.workload,
+                           warmup_fraction=args.warmup)
+        summary = result.summary()
+        rows.append([config.name] + [f"{summary[metric]:.4g}" for metric in metrics])
+    _print(f"{display_name(args.workload)} ({args.accesses} accesses)")
+    _print(format_table(rows, headers=["system"] + metrics))
+    return 0
+
+
+def _render_experiment(name: str, table) -> str:
+    if name == "figure11":
+        rows = [[f"{region}B", f"{threshold:.0%}", f"{value:.3f}"]
+                for (region, threshold), value in sorted(table.items())]
+        return format_table(rows, headers=["region size", "threshold", "energy improvement"])
+    if isinstance(table, dict) and table and not isinstance(next(iter(table.values())), dict):
+        rows = [[key, f"{value:.4g}"] for key, value in table.items()]
+        return format_table(rows, headers=["workload", "value"])
+    # Nested mappings: one row per outer key, one column per inner key.
+    rows = []
+    columns: List[str] = []
+    for outer, inner in table.items():
+        flattened = {}
+        for key, value in inner.items():
+            if isinstance(value, dict):
+                for subkey, subvalue in value.items():
+                    flattened[f"{key}.{subkey}"] = subvalue
+            else:
+                flattened[key] = value
+        if not columns:
+            columns = list(flattened)
+        rows.append([outer] + [f"{flattened.get(column, 0.0):.4g}" for column in columns])
+    return format_table(rows, headers=["workload/system"] + columns)
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    function = EXPERIMENTS.get(args.name)
+    if function is None:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise SystemExit(f"unknown experiment {args.name!r}; known experiments: {known}")
+    workloads = args.workloads.split(",") if args.workloads else None
+    table = function(workloads=workloads, num_accesses=args.accesses)
+    _print(f"Experiment {args.name}")
+    _print(_render_experiment(args.name, table))
+    return 0
+
+
+def cmd_scaling(args: argparse.Namespace) -> int:
+    rows = [
+        [str(entry.cores), f"{entry.llc_mib:.0f}", f"{entry.rdtt_kib:.1f}",
+         f"{entry.bht_kib:.1f}", f"{entry.drt_kib:.1f}", f"{entry.total_kib:.1f}",
+         f"{entry.per_core_kib:.2f}"]
+        for entry in storage_scaling_table()
+    ]
+    _print("BuMP storage versus CMP size (Section VI)")
+    _print(format_table(rows, headers=["cores", "LLC MiB", "RDTT KiB", "BHT KiB",
+                                       "DRT KiB", "total KiB", "KiB/core"]))
+    rows = [
+        [str(entry.workloads_sharing), f"{entry.bht_kib:.1f}",
+         f"{entry.total_kib:.1f}", f"{entry.per_core_kib:.2f}"]
+        for entry in virtualization_storage_table()
+    ]
+    _print("BuMP storage versus consolidated workloads (virtualization)")
+    _print(format_table(rows, headers=["workloads", "BHT KiB", "total KiB", "KiB/core"]))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    trace = build_trace(args.workload, args.accesses, num_cores=args.cores,
+                        seed=args.seed, use_cache=False)
+    path = save_trace(trace, args.output)
+    _print(f"wrote {len(trace)} accesses to {path}")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# Argument parsing
+# --------------------------------------------------------------------- #
+def _add_trace_arguments(parser: argparse.ArgumentParser, accesses: int = 60_000) -> None:
+    parser.add_argument("workload", choices=workload_names(),
+                        help="synthetic server workload")
+    parser.add_argument("--accesses", type=int, default=accesses,
+                        help="trace length (memory accesses)")
+    parser.add_argument("--cores", type=int, default=16, help="simulated cores")
+    parser.add_argument("--seed", type=int, default=42, help="generator seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bump",
+        description="BuMP (MICRO 2014) reproduction: simulate, characterise, "
+                    "and regenerate the paper's experiments.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    workloads = subparsers.add_parser("workloads", help="list available workloads")
+    workloads.set_defaults(handler=cmd_workloads)
+
+    characterize = subparsers.add_parser("characterize",
+                                         help="static statistics of a workload trace")
+    _add_trace_arguments(characterize)
+    characterize.set_defaults(handler=cmd_characterize)
+
+    run = subparsers.add_parser("run", help="simulate one workload on one system")
+    _add_trace_arguments(run)
+    run.add_argument("--system", default="bump", help="system configuration name")
+    run.add_argument("--warmup", type=float, default=0.5,
+                     help="fraction of the trace used for warmup")
+    run.set_defaults(handler=cmd_run)
+
+    compare = subparsers.add_parser("compare",
+                                    help="simulate one workload on several systems")
+    _add_trace_arguments(compare)
+    compare.add_argument("--systems", default="base_open,bump",
+                         help="comma-separated system names")
+    compare.add_argument("--warmup", type=float, default=0.5,
+                         help="fraction of the trace used for warmup")
+    compare.set_defaults(handler=cmd_compare)
+
+    experiment = subparsers.add_parser("experiment",
+                                       help="regenerate one paper figure/table")
+    experiment.add_argument("name", help="experiment name, e.g. figure9 or table4")
+    experiment.add_argument("--workloads", default="",
+                            help="comma-separated workload subset (default: all)")
+    experiment.add_argument("--accesses", type=int, default=None,
+                            help="trace length per run (default: harness default)")
+    experiment.set_defaults(handler=cmd_experiment)
+
+    scaling = subparsers.add_parser("scaling",
+                                    help="Section VI storage-scaling tables")
+    scaling.set_defaults(handler=cmd_scaling)
+
+    trace = subparsers.add_parser("trace", help="generate a trace and save it")
+    _add_trace_arguments(trace, accesses=100_000)
+    trace.add_argument("--output", "-o", required=True,
+                       help="output file (.csv, .txt or .npz)")
+    trace.set_defaults(handler=cmd_trace)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

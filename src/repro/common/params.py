@@ -1,0 +1,166 @@
+"""Architectural parameters of the simulated server (Table II of the paper).
+
+Every structural knob of the evaluated system lives here as a frozen-ish
+dataclass so experiments can copy a default configuration and override only
+what they sweep (e.g. the BuMP region size in Figure 11).
+
+The defaults reproduce the paper's 16-core lean-core CMP: 3-way out-of-order
+cores at 2.5 GHz, 32KB split L1 caches, a shared 4MB 16-way LLC with a stride
+prefetcher, a 16x8 crossbar NOC and two DDR3-1600 channels backing 16GB of
+memory organised as 4 ranks per channel with 8 banks per rank and an 8KB row
+buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass
+class CoreParams:
+    """Parameters of a single lean core (Table II, "Core" row)."""
+
+    frequency_ghz: float = 2.5
+    issue_width: int = 3
+    rob_entries: int = 48
+    lsq_entries: int = 48
+    #: CPI of the core when every memory access hits on chip.  The analytic
+    #: timing model charges this for every instruction and adds exposed
+    #: off-chip stall cycles on top (see :mod:`repro.sim.timing`).
+    base_cpi: float = 1.0
+    #: Average number of overlapping outstanding off-chip misses the core can
+    #: sustain.  Server applications have little memory-level parallelism
+    #: within a thread (Section II.A): dependent pointer chases keep a
+    #: 48-entry-ROB core from overlapping many misses.
+    memory_level_parallelism: float = 1.5
+
+    @property
+    def cycle_time_ns(self) -> float:
+        """Duration of one core clock cycle in nanoseconds."""
+        return 1.0 / self.frequency_ghz
+
+
+@dataclass
+class CacheParams:
+    """Geometry of one cache level."""
+
+    size_bytes: int
+    associativity: int
+    block_size: int = 64
+    hit_latency_cycles: int = 2
+    #: Number of banks, used only for reporting (the trace-driven model does
+    #: not simulate bank conflicts).
+    banks: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.associativity * self.block_size) != 0:
+            raise ValueError(
+                "cache size must be a multiple of associativity * block size"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets in the cache."""
+        return self.size_bytes // (self.associativity * self.block_size)
+
+    @property
+    def num_blocks(self) -> int:
+        """Total number of block frames in the cache."""
+        return self.size_bytes // self.block_size
+
+
+@dataclass
+class DDR3Timing:
+    """DDR3-1600 timing parameters in memory-bus clock cycles (Table II).
+
+    The memory bus runs at 800 MHz (DDR3-1600 transfers on both edges), so one
+    bus cycle is 1.25 ns.  A 64-byte cache block occupies the data bus for
+    four bus cycles (burst length 8 over an 8-byte-wide channel).
+    """
+
+    tCAS: int = 11
+    tRCD: int = 11
+    tRP: int = 11
+    tRAS: int = 28
+    tRC: int = 39
+    tWR: int = 12
+    tWTR: int = 6
+    tRTP: int = 6
+    tRRD: int = 5
+    tFAW: int = 24
+    burst_cycles: int = 4
+    clock_ns: float = 1.25
+
+    @property
+    def row_hit_latency(self) -> int:
+        """Bus cycles from command issue to data for a row-buffer hit."""
+        return self.tCAS + self.burst_cycles
+
+    @property
+    def row_miss_latency(self) -> int:
+        """Bus cycles for an access that must first activate a closed row."""
+        return self.tRCD + self.tCAS + self.burst_cycles
+
+    @property
+    def row_conflict_latency(self) -> int:
+        """Bus cycles for an access that must close another row first."""
+        return self.tRP + self.tRCD + self.tCAS + self.burst_cycles
+
+
+@dataclass
+class DRAMOrganization:
+    """Physical organisation of main memory (Table II, "Main Memory" row)."""
+
+    capacity_gib: int = 16
+    channels: int = 2
+    ranks_per_channel: int = 4
+    banks_per_rank: int = 8
+    row_buffer_bytes: int = 8192
+    #: Peak bandwidth per channel in bytes per memory-bus cycle (8-byte bus,
+    #: double data rate => 16 bytes per bus clock at 800 MHz = 12.8 GB/s).
+    channel_bytes_per_cycle: int = 16
+    transaction_queue_entries: int = 64
+    command_queue_entries: int = 64
+
+    @property
+    def total_banks(self) -> int:
+        """Number of independent banks across the whole memory system."""
+        return self.channels * self.ranks_per_channel * self.banks_per_rank
+
+    @property
+    def peak_bandwidth_gbps(self) -> float:
+        """Aggregate peak bandwidth in GB/s (25.6 GB/s for the default)."""
+        return self.channels * self.channel_bytes_per_cycle / DDR3Timing().clock_ns
+
+
+@dataclass
+class SystemParams:
+    """Top-level description of the simulated CMP."""
+
+    num_cores: int = 16
+    core: CoreParams = field(default_factory=CoreParams)
+    l1d: CacheParams = field(
+        default_factory=lambda: CacheParams(
+            size_bytes=32 * 1024, associativity=2, hit_latency_cycles=2
+        )
+    )
+    llc: CacheParams = field(
+        default_factory=lambda: CacheParams(
+            size_bytes=4 * 1024 * 1024,
+            associativity=16,
+            hit_latency_cycles=8,
+            banks=8,
+        )
+    )
+    dram_timing: DDR3Timing = field(default_factory=DDR3Timing)
+    dram_org: DRAMOrganization = field(default_factory=DRAMOrganization)
+    #: Ratio of core clock to memory bus clock (2.5 GHz / 800 MHz).
+    core_cycles_per_dram_cycle: float = 2.5 / 0.8
+    noc_latency_cycles: int = 5
+
+    def scaled(self, **overrides) -> "SystemParams":
+        """Return a copy of this configuration with selected fields replaced."""
+        return replace(self, **overrides)
+
+
+DEFAULT_SYSTEM = SystemParams()

@@ -1,0 +1,138 @@
+"""Record types that flow between simulator components.
+
+Three layers of the memory system exchange three kinds of records:
+
+* :class:`Access` -- a processor-side memory reference produced by the
+  workload generators: a program counter, a byte address and whether the
+  instruction is a load or a store.
+* :class:`LLCRequest` -- a block-granular request arriving at the shared LLC
+  after the private L1 filter, still carrying the triggering PC (the paper
+  extends L1-to-LLC requests with the PC so BuMP and SMS can correlate code
+  with data).
+* :class:`DRAMRequest` -- a block transfer between the LLC and main memory,
+  tagged with the reason it was generated (demand miss, prefetch, bulk read,
+  demand writeback, eager/bulk writeback) so the experiment harness can
+  attribute traffic, coverage and overfetch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, IntEnum
+
+
+class AccessType(IntEnum):
+    """Kind of processor memory reference."""
+
+    LOAD = 0
+    STORE = 1
+
+
+@dataclass
+class Access:
+    """One processor-side memory reference emitted by a workload generator."""
+
+    core: int
+    pc: int
+    address: int
+    type: AccessType = AccessType.LOAD
+    #: Number of instructions the core executed since its previous memory
+    #: reference; drives the analytic timing model.
+    instructions: int = 1
+
+    @property
+    def is_store(self) -> bool:
+        """True when the access was produced by a store instruction."""
+        return self.type == AccessType.STORE
+
+
+class LLCRequestKind(Enum):
+    """Why a block-granular request reached the LLC."""
+
+    DEMAND_READ = "demand_read"
+    DEMAND_WRITE = "demand_write"
+    PREFETCH = "prefetch"
+    BULK_READ = "bulk_read"
+    WRITEBACK_PROBE = "writeback_probe"
+
+
+@dataclass
+class LLCRequest:
+    """A block request at the shared LLC, carrying prediction metadata."""
+
+    core: int
+    pc: int
+    block_address: int
+    kind: LLCRequestKind
+    is_store: bool = False
+
+
+class DRAMRequestKind(Enum):
+    """Provenance of a DRAM transfer; used for coverage/overfetch accounting."""
+
+    DEMAND_READ = "demand_read"
+    PREFETCH_READ = "prefetch_read"
+    BULK_READ = "bulk_read"
+    DEMAND_WRITEBACK = "demand_writeback"
+    EAGER_WRITEBACK = "eager_writeback"
+    BULK_WRITEBACK = "bulk_writeback"
+
+    @property
+    def is_read(self) -> bool:
+        """True for transfers that move data from DRAM to the chip."""
+        return self in (
+            DRAMRequestKind.DEMAND_READ,
+            DRAMRequestKind.PREFETCH_READ,
+            DRAMRequestKind.BULK_READ,
+        )
+
+    @property
+    def is_write(self) -> bool:
+        """True for transfers that move data from the chip to DRAM."""
+        return not self.is_read
+
+    @property
+    def is_demand(self) -> bool:
+        """True for transfers directly required by the running program."""
+        return self in (
+            DRAMRequestKind.DEMAND_READ,
+            DRAMRequestKind.DEMAND_WRITEBACK,
+        )
+
+
+class DRAMCommandKind(Enum):
+    """Low-level DRAM commands issued by the memory controller."""
+
+    ACTIVATE = "activate"
+    READ = "read"
+    WRITE = "write"
+    PRECHARGE = "precharge"
+
+
+@dataclass
+class DRAMRequest:
+    """One 64-byte transfer between the LLC and main memory."""
+
+    block_address: int
+    kind: DRAMRequestKind
+    core: int = 0
+    pc: int = 0
+    #: Core-clock cycle at which the request became visible to the memory
+    #: controller.  Filled in by the system model.
+    arrival_cycle: float = 0.0
+    #: Set by the memory controller: whether the column access hit in an
+    #: already-open row buffer.
+    row_hit: bool = field(default=False, compare=False)
+    #: Set by the memory controller: total latency in memory-bus cycles from
+    #: arrival to completion (queueing + bank timing + burst).
+    latency_cycles: float = field(default=0.0, compare=False)
+
+    @property
+    def is_read(self) -> bool:
+        """True when the transfer moves data from DRAM toward the chip."""
+        return self.kind.is_read
+
+    @property
+    def is_write(self) -> bool:
+        """True when the transfer moves data from the chip into DRAM."""
+        return self.kind.is_write

@@ -1,0 +1,74 @@
+"""Bulk History Table (BHT).
+
+The BHT holds one entry per (PC, offset) tuple that has been observed to
+trigger a high-density region.  It is trained by the RDTT when a high-density
+region terminates, and probed on every LLC miss: a hit predicts that the miss
+falls into a high-density region and causes the access generation logic to
+issue a bulk read of the region's remaining blocks (Section IV.B).
+
+Entries carry only a valid bit in the paper; here each entry also remembers
+how many times it was trained and how many bulk transfers it triggered so the
+experiment harness can report predictor behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.common.assoc_table import AssociativeTable
+from repro.common.stats import StatGroup
+from repro.core.config import BuMPConfig
+
+
+@dataclass
+class BHTEntry:
+    """Metadata stored for one learned (PC, offset) tuple."""
+
+    trainings: int = 1
+    triggers: int = 0
+
+
+class BulkHistoryTable:
+    """Predicts whether an LLC miss falls into a high-density region."""
+
+    def __init__(self, config: BuMPConfig = None) -> None:
+        self.config = config if config is not None else BuMPConfig()
+        self.table: AssociativeTable[Tuple[int, int], BHTEntry] = AssociativeTable(
+            self.config.bht_entries, self.config.associativity, name="bht"
+        )
+        self.stats = StatGroup("bht")
+
+    def train(self, pc: int, offset: int) -> None:
+        """Record that (``pc``, ``offset``) triggered a high-density region."""
+        key = (pc, offset)
+        entry = self.table.lookup(key)
+        self.stats.inc("trainings")
+        if entry is not None:
+            entry.trainings += 1
+            return
+        self.table.insert(key, BHTEntry())
+
+    def predict(self, pc: int, offset: int) -> bool:
+        """True when an LLC miss from (``pc``, ``offset``) should bulk-fetch."""
+        entry = self.table.lookup((pc, offset))
+        self.stats.inc("probes")
+        if entry is None:
+            return False
+        entry.triggers += 1
+        self.stats.inc("hits")
+        return True
+
+    def entry_for(self, pc: int, offset: int) -> Optional[BHTEntry]:
+        """Inspect the entry for a tuple without touching statistics."""
+        return self.table.lookup((pc, offset), touch=False)
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of LLC-miss probes that predicted a bulk transfer."""
+        return self.stats.ratio("hits", "probes")
+
+    def storage_bits(self) -> int:
+        """Storage: PC tag + offset + valid per entry (~4.5KB at the default size)."""
+        bits_per_entry = 32 + self.config.offset_bits + 1
+        return self.config.bht_entries * bits_per_entry

@@ -1,0 +1,154 @@
+"""The BuMP engine: bulk memory access prediction and streaming.
+
+This class wires the RDTT, BHT and DRT together exactly as Figure 6 of the
+paper describes and exposes the result as an LLC agent:
+
+* every demand LLC access (read or write) trains the RDTT;
+* every LLC miss probes the BHT with the (PC, offset) of the missing access;
+  a hit triggers a *bulk read* of the region's other blocks;
+* every LLC eviction terminates the victim's active region (if any); a
+  terminated high-density region trains the BHT, and a terminated
+  high-density *modified* region either triggers *bulk writebacks* right away
+  (when the termination was a dirty eviction) or is remembered in the DRT;
+* every dirty LLC eviction that does not belong to an active region probes
+  the DRT; a hit triggers bulk writebacks and consumes the entry.
+
+The engine never touches the LLC or memory directly: it returns the block
+addresses to fetch or write back in an :class:`AgentActions` bundle and the
+system model performs (and attributes) the traffic.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.request import LLCRequest
+from repro.common.stats import StatGroup
+from repro.cache.agent import AgentActions, LLCAgent
+from repro.cache.set_assoc import EvictedLine
+from repro.core.bht import BulkHistoryTable
+from repro.core.config import BuMPConfig
+from repro.core.drt import DirtyRegionTable
+from repro.core.rdtt import RegionDensityTracker, TerminatedRegion, TerminationReason
+
+
+class BuMPPredictor(LLCAgent):
+    """Bulk Memory Access Prediction and Streaming."""
+
+    name = "bump"
+
+    def __init__(self, config: BuMPConfig = None) -> None:
+        self.config = config if config is not None else BuMPConfig()
+        self.rdtt = RegionDensityTracker(self.config)
+        self.bht = BulkHistoryTable(self.config)
+        self.drt = DirtyRegionTable(self.config)
+        self.stats = StatGroup("bump")
+
+    # ------------------------------------------------------------------ #
+    # LLC access stream (read and write requests after the L1 filter)
+    # ------------------------------------------------------------------ #
+    def on_access(self, request: LLCRequest, hit: bool) -> AgentActions:
+        """Train the RDTT with a demand access; handle conflict terminations."""
+        actions = AgentActions()
+        self.stats.inc("rdtt_accesses")
+        terminated = self.rdtt.observe_access(
+            request.block_address, request.pc, request.is_store
+        )
+        for region in terminated:
+            self._handle_termination(region, actions)
+        return actions
+
+    # ------------------------------------------------------------------ #
+    # LLC miss stream (bulk read prediction)
+    # ------------------------------------------------------------------ #
+    def on_miss(self, request: LLCRequest) -> AgentActions:
+        """Probe the BHT; on a hit, bulk-read the region's other blocks."""
+        actions = AgentActions()
+        config = self.config
+        offset = config.offset_of(request.block_address)
+        self.stats.inc("bht_probes")
+        if not self.bht.predict(request.pc, offset):
+            return actions
+
+        self.stats.inc("bulk_read_triggers")
+        region = config.region_of(request.block_address)
+        for block in config.region_blocks(region):
+            if block != request.block_address:
+                actions.fetch_blocks.append(block)
+        self.stats.inc("bulk_read_blocks_requested", len(actions.fetch_blocks))
+        return actions
+
+    # ------------------------------------------------------------------ #
+    # LLC eviction stream (region termination and bulk writebacks)
+    # ------------------------------------------------------------------ #
+    def on_eviction(self, victim: EvictedLine) -> AgentActions:
+        """Terminate the victim's region and generate bulk writebacks."""
+        actions = AgentActions()
+        self.stats.inc("evictions_observed")
+        terminated = self.rdtt.observe_eviction(victim.block_address, victim.dirty)
+
+        if terminated is not None:
+            self._handle_termination(terminated, actions,
+                                     evicted_block=victim.block_address)
+            return actions
+
+        if victim.dirty:
+            region = self.config.region_of(victim.block_address)
+            self.stats.inc("drt_probes")
+            if self.drt.probe_and_invalidate(region):
+                self._generate_bulk_writebacks(region, victim.block_address, actions)
+        return actions
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _handle_termination(self, terminated: TerminatedRegion, actions: AgentActions,
+                            evicted_block: int = None) -> None:
+        entry = terminated.entry
+        high_density = terminated.is_high_density(self.config.density_threshold_blocks)
+        self.stats.inc("regions_terminated")
+        if not high_density:
+            self.stats.inc("regions_low_density")
+            return
+
+        self.stats.inc("regions_high_density")
+        self.bht.train(entry.trigger_pc, entry.trigger_offset)
+
+        if not entry.dirty:
+            return
+        self.stats.inc("regions_high_density_modified")
+
+        if terminated.reason is TerminationReason.EVICTION and terminated.evicted_dirty:
+            # The first dirty eviction of a high-density modified region:
+            # stream the rest of the region's writebacks right now.
+            self._generate_bulk_writebacks(entry.region, evicted_block, actions)
+        else:
+            # Terminated by a conflict or by a clean eviction: remember the
+            # region so a later dirty eviction can trigger the bulk writeback.
+            self.drt.insert(entry.region)
+
+    def _generate_bulk_writebacks(self, region: int, excluded_block: int,
+                                  actions: AgentActions) -> None:
+        self.stats.inc("bulk_writeback_triggers")
+        blocks: List[int] = []
+        for block in self.config.region_blocks(region):
+            if block != excluded_block:
+                blocks.append(block)
+        actions.writeback_blocks.extend(blocks)
+        self.stats.inc("bulk_writeback_blocks_requested", len(blocks))
+
+    # ------------------------------------------------------------------ #
+    # Overheads
+    # ------------------------------------------------------------------ #
+    def storage_bits(self) -> int:
+        """Total storage of BuMP's structures (~14KB at the default geometry)."""
+        return (self.rdtt.storage_bits() + self.bht.storage_bits()
+                + self.drt.storage_bits())
+
+    def structure_access_counts(self) -> dict:
+        """Access counts used by the on-chip energy overhead analysis."""
+        return {
+            "rdtt": self.stats["rdtt_accesses"] + self.stats["evictions_observed"],
+            "bht_drt": self.stats["bht_probes"] + self.stats["drt_probes"]
+                        + self.bht.stats["trainings"] + self.drt.stats["insertions"],
+        }

@@ -1,0 +1,65 @@
+"""Dirty Region Table (DRT).
+
+Most density-table terminations happen because of table conflicts, *before*
+the region's first dirty LLC eviction (Section IV.C).  To still be able to
+stream such a region's writebacks in bulk later, BuMP records terminated
+high-density *modified* regions in the DRT, indexed by region address.
+
+On a dirty LLC eviction the DRT is probed; a hit means the evicted block
+belongs to a known high-density modified region, so the writeback generation
+logic issues bulk writebacks for the region's remaining dirty blocks and the
+entry is invalidated.
+"""
+
+from __future__ import annotations
+
+from repro.common.assoc_table import AssociativeTable
+from repro.common.stats import StatGroup
+from repro.core.config import BuMPConfig
+
+
+class DirtyRegionTable:
+    """Tracks cache-resident high-density modified regions."""
+
+    def __init__(self, config: BuMPConfig = None) -> None:
+        self.config = config if config is not None else BuMPConfig()
+        self.table: AssociativeTable[int, bool] = AssociativeTable(
+            self.config.drt_entries, self.config.associativity, name="drt"
+        )
+        self.stats = StatGroup("drt")
+
+    def insert(self, region: int) -> None:
+        """Record ``region`` as a high-density modified region."""
+        self.stats.inc("insertions")
+        victim = self.table.insert(region, True)
+        if victim is not None:
+            self.stats.inc("conflict_evictions")
+
+    def probe_and_invalidate(self, region: int) -> bool:
+        """Probe on a dirty eviction; a hit consumes (invalidates) the entry."""
+        self.stats.inc("probes")
+        if self.table.remove(region) is None:
+            return False
+        self.stats.inc("hits")
+        return True
+
+    def contains(self, region: int) -> bool:
+        """Presence check that does not consume the entry (test helper)."""
+        return self.table.contains(region)
+
+    def invalidate(self, region: int) -> None:
+        """Drop a region (used when its blocks all left the LLC)."""
+        self.table.remove(region)
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of dirty-eviction probes that found a tracked region."""
+        return self.stats.ratio("hits", "probes")
+
+    def storage_bits(self) -> int:
+        """Storage: region tag + valid per entry (~4.25KB at the default size)."""
+        bits_per_entry = 33
+        return self.config.drt_entries * bits_per_entry

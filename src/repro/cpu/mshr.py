@@ -1,0 +1,116 @@
+"""Miss Status Holding Register (MSHR) file.
+
+Each L1 data cache has a bounded number of MSHRs (Table II: 10).  An MSHR is
+allocated for every outstanding (primary) miss; further accesses to the same
+block while it is outstanding merge into the existing entry as secondary
+misses instead of issuing another memory request.  When every MSHR is in use
+the core can expose no further misses -- the structural bound on memory-level
+parallelism that the interval timing model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class MSHREntry:
+    """One in-flight miss."""
+
+    block_address: int
+    #: Cycle (or logical time) at which the primary miss was issued.
+    issue_time: float
+    #: Number of secondary (merged) misses to the same block.
+    merged: int = 0
+    #: PCs of the merged accesses, kept for debugging and tests.
+    merged_pcs: List[int] = field(default_factory=list)
+
+
+class MSHRFile:
+    """Bounded file of outstanding misses with secondary-miss merging."""
+
+    def __init__(self, entries: int = 10) -> None:
+        if entries < 1:
+            raise ValueError("an MSHR file needs at least one entry")
+        self.entries = entries
+        self._active: Dict[int, MSHREntry] = {}
+        self.primary_misses = 0
+        self.secondary_misses = 0
+        self.rejected_misses = 0
+        #: Running sum of occupancy observed at every allocate attempt, for
+        #: the average-occupancy statistic.
+        self._occupancy_sum = 0.0
+        self._occupancy_samples = 0
+
+    # ------------------------------------------------------------------ #
+    # Allocation
+    # ------------------------------------------------------------------ #
+    def allocate(self, block_address: int, issue_time: float = 0.0,
+                 pc: int = 0) -> Optional[MSHREntry]:
+        """Try to track a miss to ``block_address``.
+
+        Returns the entry when the miss is tracked (newly allocated or merged
+        into an existing entry) and ``None`` when the file is full and the
+        miss would have to stall the core.
+        """
+        self._occupancy_sum += len(self._active)
+        self._occupancy_samples += 1
+
+        entry = self._active.get(block_address)
+        if entry is not None:
+            entry.merged += 1
+            entry.merged_pcs.append(pc)
+            self.secondary_misses += 1
+            return entry
+        if len(self._active) >= self.entries:
+            self.rejected_misses += 1
+            return None
+        entry = MSHREntry(block_address=block_address, issue_time=issue_time)
+        self._active[block_address] = entry
+        self.primary_misses += 1
+        return entry
+
+    def complete(self, block_address: int) -> Optional[MSHREntry]:
+        """Retire the outstanding miss to ``block_address`` (fill arrived)."""
+        return self._active.pop(block_address, None)
+
+    def is_outstanding(self, block_address: int) -> bool:
+        """Whether a miss to ``block_address`` is currently in flight."""
+        return block_address in self._active
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def occupancy(self) -> int:
+        """Number of MSHRs currently in use."""
+        return len(self._active)
+
+    @property
+    def full(self) -> bool:
+        """True when no further primary miss can be tracked."""
+        return len(self._active) >= self.entries
+
+    @property
+    def average_occupancy(self) -> float:
+        """Mean occupancy observed across allocate attempts."""
+        if self._occupancy_samples == 0:
+            return 0.0
+        return self._occupancy_sum / self._occupancy_samples
+
+    @property
+    def merge_ratio(self) -> float:
+        """Secondary misses per tracked miss (how much merging helps)."""
+        tracked = self.primary_misses + self.secondary_misses
+        if tracked == 0:
+            return 0.0
+        return self.secondary_misses / tracked
+
+    def reset_statistics(self) -> None:
+        """Zero the counters while keeping in-flight entries."""
+        self.primary_misses = 0
+        self.secondary_misses = 0
+        self.rejected_misses = 0
+        self._occupancy_sum = 0.0
+        self._occupancy_samples = 0

@@ -1,0 +1,85 @@
+"""First-order reorder-buffer model of memory-level parallelism.
+
+Follows the interval-analysis observation (Karkhanis & Smith; Chou, Fahs &
+Abraham): when a long-latency load blocks retirement, the out-of-order core
+keeps fetching until the ROB fills; any *independent* long-latency loads among
+the instructions that fit behind the blocking one overlap their latency with
+it.  The achievable memory-level parallelism is therefore bounded by
+
+* how many additional misses appear in one ROB's worth of instructions
+  (``rob_entries / instructions_per_miss``),
+* how many of those are independent (server pointer chases are not), and
+* the number of L1 MSHRs.
+
+The model is deliberately simple -- every quantity is an average -- but it
+turns the fixed MLP constant of the default timing model into a derived,
+workload-dependent value, which is what the timing-sensitivity ablation
+exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.params import CoreParams
+
+
+@dataclass
+class ROBModel:
+    """Derives sustainable memory-level parallelism from core structure."""
+
+    core: CoreParams = None
+    #: Fraction of off-chip misses that are independent of the previous miss
+    #: (the rest are pointer-chase style dependent accesses that cannot
+    #: overlap).  Server workloads sit low; streaming workloads high.
+    independence: float = 0.5
+    #: L1 MSHR entries (structural cap on outstanding misses).
+    mshr_entries: int = 10
+
+    def __post_init__(self) -> None:
+        if self.core is None:
+            self.core = CoreParams()
+        if not 0.0 <= self.independence <= 1.0:
+            raise ValueError("independence must be a fraction")
+        if self.mshr_entries < 1:
+            raise ValueError("mshr_entries must be positive")
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    def misses_per_rob_window(self, instructions_per_miss: float) -> float:
+        """Average number of off-chip misses among one ROB's worth of instructions."""
+        if instructions_per_miss <= 0:
+            return float(self.core.rob_entries)
+        return self.core.rob_entries / instructions_per_miss
+
+    def memory_level_parallelism(self, instructions_per_miss: float) -> float:
+        """Sustainable overlapping off-chip misses (>= 1).
+
+        The blocking miss itself always counts; additional overlap comes from
+        the independent fraction of the misses that fit in the ROB window
+        behind it, capped by the MSHR file.
+        """
+        window_misses = self.misses_per_rob_window(instructions_per_miss)
+        overlapping = 1.0 + max(window_misses - 1.0, 0.0) * self.independence
+        return min(max(overlapping, 1.0), float(self.mshr_entries))
+
+    def rob_fill_cycles(self, base_cpi: float) -> float:
+        """Cycles the front-end needs to fill the ROB behind a blocking miss.
+
+        During this time the core still makes forward progress, so only the
+        part of the miss latency beyond the fill time is truly exposed.
+        """
+        if base_cpi <= 0:
+            raise ValueError("base CPI must be positive")
+        return self.core.rob_entries * base_cpi / self.core.issue_width
+
+    def exposed_miss_latency(self, miss_latency_cycles: float,
+                             instructions_per_miss: float,
+                             base_cpi: float = None) -> float:
+        """Exposed (non-overlapped) stall cycles of one average off-chip miss."""
+        base_cpi = base_cpi if base_cpi is not None else self.core.base_cpi
+        mlp = self.memory_level_parallelism(instructions_per_miss)
+        hidden_by_fill = min(self.rob_fill_cycles(base_cpi), miss_latency_cycles)
+        exposed = (miss_latency_cycles - hidden_by_fill) / mlp
+        return max(exposed, 0.0)

@@ -1,0 +1,112 @@
+"""Per-bank row-buffer state and timing.
+
+Each DRAM bank holds at most one open row in its row buffer.  An access to
+the open row is a *row hit* and only needs a column command (tCAS before the
+data burst); back-to-back hits to the open row stream at the column-to-column
+cadence (one burst every ``burst_cycles``), which is precisely the behaviour
+bulk streaming exploits.  An access to a different row while another is open
+is a *row conflict*: the bank must precharge (tRP), activate the new row
+(tRCD) and then issue the column command.  An access when no row is open
+(*row miss*, e.g. after a close-row policy precharged the bank) skips the
+precharge.
+
+The bank tracks the earliest bus cycle at which it can accept the next column
+command (``ready_cycle``) plus the cycle of its last activation so precharge
+timing respects tRAS and activation spacing respects tRC.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional, Tuple
+
+from repro.common.params import DDR3Timing
+
+
+class RowBufferOutcome(Enum):
+    """Classification of one column access with respect to the row buffer."""
+
+    HIT = "hit"
+    MISS = "miss"
+    CONFLICT = "conflict"
+
+
+class Bank:
+    """State of one DRAM bank."""
+
+    __slots__ = ("timing", "open_row", "ready_cycle", "activations", "accesses",
+                 "row_hits", "last_activate_cycle")
+
+    def __init__(self, timing: DDR3Timing) -> None:
+        self.timing = timing
+        self.open_row: Optional[int] = None
+        self.ready_cycle: float = 0.0
+        self.activations = 0
+        self.accesses = 0
+        self.row_hits = 0
+        self.last_activate_cycle: float = -1.0e18
+
+    def classify(self, row: int) -> RowBufferOutcome:
+        """How an access to ``row`` would be served right now."""
+        if self.open_row is None:
+            return RowBufferOutcome.MISS
+        if self.open_row == row:
+            return RowBufferOutcome.HIT
+        return RowBufferOutcome.CONFLICT
+
+    def access(self, row: int, start_cycle: float, is_write: bool,
+               close_after: bool) -> Tuple[RowBufferOutcome, float, float]:
+        """Serve one column access to ``row`` starting no earlier than ``start_cycle``.
+
+        Returns ``(outcome, issue_cycle, data_ready_cycle)`` where
+        ``issue_cycle`` is when the column command issues (after any
+        precharge/activate) and ``data_ready_cycle`` is when the burst can
+        begin on the data bus.  The caller arbitrates the shared data bus.
+        """
+        timing = self.timing
+        start = max(start_cycle, self.ready_cycle)
+        outcome = self.classify(row)
+
+        if outcome is RowBufferOutcome.HIT:
+            issue = start
+        elif outcome is RowBufferOutcome.MISS:
+            activate = max(start, self.last_activate_cycle + timing.tRRD)
+            issue = activate + timing.tRCD
+            self.activations += 1
+            self.last_activate_cycle = activate
+        else:
+            # Close the open row first; the precharge may not start before
+            # tRAS has elapsed since that row's activation, and the new
+            # activation must respect tRC row-cycle spacing.
+            precharge_start = max(start, self.last_activate_cycle + timing.tRAS)
+            activate = max(precharge_start + timing.tRP,
+                           self.last_activate_cycle + timing.tRC)
+            issue = activate + timing.tRCD
+            self.activations += 1
+            self.last_activate_cycle = activate
+
+        data_ready = issue + timing.tCAS
+
+        self.accesses += 1
+        if outcome is RowBufferOutcome.HIT:
+            self.row_hits += 1
+
+        if close_after:
+            # Close-row policy: precharge right after the access completes.
+            recovery = timing.tWR if is_write else timing.tRTP
+            self.open_row = None
+            self.ready_cycle = data_ready + timing.burst_cycles + recovery + timing.tRP
+        else:
+            # Open-row policy: the next column command to this bank can issue
+            # one burst later (column-to-column cadence).
+            self.open_row = row
+            self.ready_cycle = issue + timing.burst_cycles
+
+        return outcome, issue, data_ready
+
+    @property
+    def row_hit_ratio(self) -> float:
+        """Fraction of this bank's accesses that hit in its row buffer."""
+        if self.accesses == 0:
+            return 0.0
+        return self.row_hits / self.accesses

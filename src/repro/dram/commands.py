@@ -1,0 +1,340 @@
+"""Command-level DRAM modelling.
+
+The block-granular controller (:mod:`repro.dram.controller`) accounts for
+row-buffer outcomes and bank timing analytically.  This module provides the
+command-level view underneath it: the DDR3 command set (ACTIVATE, READ,
+WRITE, PRECHARGE, REFRESH), a per-bank/per-rank timing checker that validates
+command sequences against the JEDEC-style constraints of Table II (tRCD, tRP,
+tRAS, tRC, tCCD, tWTR, tWR, tRTP, tRRD, tFAW, tRFC), and a command trace
+recorder that experiments and tests use to verify that a scheduling decision
+sequence is legal and to count per-command energy events.
+
+Two users exist inside the repository:
+
+* property-based tests assert that the analytic bank model of
+  :mod:`repro.dram.bank` never produces an issue schedule the command-level
+  checker would reject;
+* the IDD-based power model (:mod:`repro.dram.power`) consumes command counts
+  and per-bank activation intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.params import DDR3Timing
+
+
+class CommandKind(Enum):
+    """DDR3 commands the controller can issue to a bank."""
+
+    ACTIVATE = "activate"
+    READ = "read"
+    WRITE = "write"
+    PRECHARGE = "precharge"
+    REFRESH = "refresh"
+
+
+@dataclass(frozen=True)
+class DRAMCommand:
+    """One command issued on the command bus.
+
+    ``cycle`` is the issue cycle in memory-bus clocks; ``rank``/``bank``
+    identify the target bank; ``row`` is meaningful for ACTIVATE only.
+    """
+
+    kind: CommandKind
+    cycle: float
+    rank: int = 0
+    bank: int = 0
+    row: int = 0
+
+    @property
+    def bank_key(self) -> Tuple[int, int]:
+        """The (rank, bank) pair the command addresses."""
+        return (self.rank, self.bank)
+
+
+class TimingViolation(Exception):
+    """Raised by the checker when a command breaks a timing constraint."""
+
+    def __init__(self, command: DRAMCommand, constraint: str, earliest: float) -> None:
+        super().__init__(
+            f"{command.kind.value} @ {command.cycle:.1f} to rank {command.rank} "
+            f"bank {command.bank} violates {constraint}: earliest legal cycle "
+            f"is {earliest:.1f}"
+        )
+        self.command = command
+        self.constraint = constraint
+        self.earliest = earliest
+
+
+@dataclass
+class _BankState:
+    """Timing-relevant state of one bank inside the checker."""
+
+    open_row: Optional[int] = None
+    last_activate: float = float("-inf")
+    last_precharge: float = float("-inf")
+    last_read: float = float("-inf")
+    last_write: float = float("-inf")
+    #: Earliest cycle a PRECHARGE may issue (read-to-precharge / write recovery).
+    precharge_allowed: float = float("-inf")
+
+
+class CommandTimingChecker:
+    """Validates a stream of DRAM commands against DDR3 timing constraints.
+
+    The checker is deliberately strict: it raises :class:`TimingViolation`
+    on the first illegal command rather than silently adjusting it, because
+    its role is to certify schedules produced elsewhere, not to repair them.
+    Checked constraints:
+
+    ======== =========================================================
+    tRCD     ACTIVATE -> READ/WRITE to the same bank
+    tRAS     ACTIVATE -> PRECHARGE to the same bank
+    tRP      PRECHARGE -> ACTIVATE to the same bank
+    tRC      ACTIVATE -> ACTIVATE to the same bank
+    tRRD     ACTIVATE -> ACTIVATE to different banks of the same rank
+    tFAW     at most four ACTIVATEs per rank in any tFAW window
+    tCCD     column command -> column command (same rank), = burst length
+    tRTP     READ -> PRECHARGE to the same bank
+    tWR      end of WRITE burst -> PRECHARGE to the same bank
+    tWTR     end of WRITE burst -> READ to the same rank
+    tRFC     REFRESH -> any command to the same rank
+    ======== =========================================================
+    """
+
+    def __init__(self, timing: Optional[DDR3Timing] = None, tRFC: int = 88) -> None:
+        self.timing = timing if timing is not None else DDR3Timing()
+        self.tRFC = tRFC
+        self._banks: Dict[Tuple[int, int], _BankState] = {}
+        #: Per-rank sliding window of recent ACTIVATE issue cycles (tFAW).
+        self._recent_activates: Dict[int, List[float]] = {}
+        #: Per-rank earliest cycle a column command may issue (tCCD / tWTR).
+        self._column_allowed: Dict[int, float] = {}
+        #: Per-rank cycle until which the rank is busy refreshing.
+        self._refresh_busy_until: Dict[int, float] = {}
+        self.history: List[DRAMCommand] = []
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _bank(self, command: DRAMCommand) -> _BankState:
+        return self._banks.setdefault(command.bank_key, _BankState())
+
+    def _require(self, command: DRAMCommand, earliest: float, constraint: str) -> None:
+        if command.cycle + 1e-9 < earliest:
+            raise TimingViolation(command, constraint, earliest)
+
+    def _check_refresh_window(self, command: DRAMCommand) -> None:
+        busy_until = self._refresh_busy_until.get(command.rank, float("-inf"))
+        self._require(command, busy_until, "tRFC")
+
+    # ------------------------------------------------------------------ #
+    # Command admission
+    # ------------------------------------------------------------------ #
+    def issue(self, command: DRAMCommand) -> None:
+        """Admit one command, raising :class:`TimingViolation` when illegal."""
+        handler = {
+            CommandKind.ACTIVATE: self._issue_activate,
+            CommandKind.READ: self._issue_read,
+            CommandKind.WRITE: self._issue_write,
+            CommandKind.PRECHARGE: self._issue_precharge,
+            CommandKind.REFRESH: self._issue_refresh,
+        }[command.kind]
+        handler(command)
+        self.history.append(command)
+
+    def issue_all(self, commands: List[DRAMCommand]) -> None:
+        """Admit a whole schedule (commands must already be in issue order)."""
+        for command in commands:
+            self.issue(command)
+
+    def _issue_activate(self, command: DRAMCommand) -> None:
+        timing = self.timing
+        bank = self._bank(command)
+        self._check_refresh_window(command)
+        if bank.open_row is not None:
+            raise TimingViolation(command, "activate-to-open-bank", float("inf"))
+        self._require(command, bank.last_precharge + timing.tRP, "tRP")
+        self._require(command, bank.last_activate + timing.tRC, "tRC")
+
+        same_rank = [
+            cycle for (rank, _), state in self._banks.items()
+            if rank == command.rank
+            for cycle in [state.last_activate]
+            if cycle > float("-inf")
+        ]
+        if same_rank:
+            self._require(command, max(same_rank) + timing.tRRD, "tRRD")
+
+        window = self._recent_activates.setdefault(command.rank, [])
+        window[:] = [cycle for cycle in window if command.cycle - cycle < timing.tFAW]
+        if len(window) >= 4:
+            self._require(command, min(window) + timing.tFAW, "tFAW")
+        window.append(command.cycle)
+
+        bank.open_row = command.row
+        bank.last_activate = command.cycle
+        bank.precharge_allowed = command.cycle + timing.tRAS
+
+    def _issue_read(self, command: DRAMCommand) -> None:
+        timing = self.timing
+        bank = self._bank(command)
+        self._check_refresh_window(command)
+        if bank.open_row is None:
+            raise TimingViolation(command, "read-to-closed-bank", float("inf"))
+        self._require(command, bank.last_activate + timing.tRCD, "tRCD")
+        self._require(command,
+                      self._column_allowed.get(command.rank, float("-inf")), "tCCD/tWTR")
+
+        bank.last_read = command.cycle
+        bank.precharge_allowed = max(bank.precharge_allowed, command.cycle + timing.tRTP)
+        self._column_allowed[command.rank] = command.cycle + timing.burst_cycles
+
+    def _issue_write(self, command: DRAMCommand) -> None:
+        timing = self.timing
+        bank = self._bank(command)
+        self._check_refresh_window(command)
+        if bank.open_row is None:
+            raise TimingViolation(command, "write-to-closed-bank", float("inf"))
+        self._require(command, bank.last_activate + timing.tRCD, "tRCD")
+        self._require(command,
+                      self._column_allowed.get(command.rank, float("-inf")), "tCCD/tWTR")
+
+        bank.last_write = command.cycle
+        write_end = command.cycle + timing.tCAS + timing.burst_cycles
+        bank.precharge_allowed = max(bank.precharge_allowed, write_end + timing.tWR)
+        # A read following a write on the same rank must wait out tWTR after
+        # the write burst completes; model it through the column gate.
+        self._column_allowed[command.rank] = max(
+            command.cycle + timing.burst_cycles, write_end + timing.tWTR
+        )
+
+    def _issue_precharge(self, command: DRAMCommand) -> None:
+        bank = self._bank(command)
+        self._check_refresh_window(command)
+        if bank.open_row is None:
+            # Precharging an idle bank is legal (a NOP in effect).
+            bank.last_precharge = max(bank.last_precharge, command.cycle)
+            return
+        self._require(command, bank.precharge_allowed, "tRAS/tRTP/tWR")
+        bank.open_row = None
+        bank.last_precharge = command.cycle
+
+    def _issue_refresh(self, command: DRAMCommand) -> None:
+        # All banks of the rank must be precharged before REFRESH.
+        for (rank, _), state in self._banks.items():
+            if rank == command.rank and state.open_row is not None:
+                raise TimingViolation(command, "refresh-with-open-row", float("inf"))
+        self._check_refresh_window(command)
+        self._refresh_busy_until[command.rank] = command.cycle + self.tRFC
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def open_row(self, rank: int, bank: int) -> Optional[int]:
+        """Row currently open in (rank, bank), or ``None``."""
+        state = self._banks.get((rank, bank))
+        return state.open_row if state is not None else None
+
+    def command_counts(self) -> Dict[CommandKind, int]:
+        """Number of admitted commands of each kind."""
+        counts = {kind: 0 for kind in CommandKind}
+        for command in self.history:
+            counts[command.kind] += 1
+        return counts
+
+
+@dataclass
+class CommandTrace:
+    """An ordered record of DRAM commands plus summary statistics.
+
+    The controller-level model does not emit commands directly; tests and the
+    power model build command traces from higher-level access outcomes with
+    :meth:`from_access_sequence` and then validate/aggregate them.
+    """
+
+    commands: List[DRAMCommand] = field(default_factory=list)
+
+    def append(self, command: DRAMCommand) -> None:
+        """Add one command to the trace."""
+        self.commands.append(command)
+
+    def extend(self, commands: List[DRAMCommand]) -> None:
+        """Add several commands to the trace."""
+        self.commands.extend(commands)
+
+    def __len__(self) -> int:
+        return len(self.commands)
+
+    def counts(self) -> Dict[CommandKind, int]:
+        """Number of commands of each kind in the trace."""
+        counts = {kind: 0 for kind in CommandKind}
+        for command in self.commands:
+            counts[command.kind] += 1
+        return counts
+
+    def activations(self) -> int:
+        """Number of ACTIVATE commands."""
+        return self.counts()[CommandKind.ACTIVATE]
+
+    def column_accesses(self) -> int:
+        """Number of READ plus WRITE commands."""
+        counts = self.counts()
+        return counts[CommandKind.READ] + counts[CommandKind.WRITE]
+
+    def mean_activate_interval(self) -> float:
+        """Mean cycles between consecutive ACTIVATEs to the same bank.
+
+        The Micron power model derives activation power from this interval
+        (a busier bank re-activates more often and burns more ACT power).
+        Returns 0.0 when fewer than two activations exist for every bank.
+        """
+        per_bank: Dict[Tuple[int, int], List[float]] = {}
+        for command in self.commands:
+            if command.kind is CommandKind.ACTIVATE:
+                per_bank.setdefault(command.bank_key, []).append(command.cycle)
+        intervals: List[float] = []
+        for cycles in per_bank.values():
+            cycles.sort()
+            intervals.extend(b - a for a, b in zip(cycles, cycles[1:]))
+        if not intervals:
+            return 0.0
+        return sum(intervals) / len(intervals)
+
+    def validate(self, timing: Optional[DDR3Timing] = None) -> None:
+        """Run the whole trace through a fresh :class:`CommandTimingChecker`."""
+        checker = CommandTimingChecker(timing)
+        checker.issue_all(sorted(self.commands, key=lambda c: c.cycle))
+
+
+def expand_access(row: int, rank: int, bank: int, start_cycle: float,
+                  is_write: bool, open_row: Optional[int],
+                  timing: Optional[DDR3Timing] = None) -> List[DRAMCommand]:
+    """Expand one block access into its legal command sequence.
+
+    Mirrors the analytic path of :class:`repro.dram.bank.Bank`: a row hit is a
+    single column command, a row miss is ACTIVATE + column, and a row conflict
+    is PRECHARGE + ACTIVATE + column.  The returned commands are spaced by the
+    minimum legal distances so they can be fed to the checker directly.
+    """
+    timing = timing if timing is not None else DDR3Timing()
+    commands: List[DRAMCommand] = []
+    column = CommandKind.WRITE if is_write else CommandKind.READ
+
+    if open_row == row:
+        commands.append(DRAMCommand(column, start_cycle, rank, bank, row))
+        return commands
+
+    cycle = start_cycle
+    if open_row is not None:
+        commands.append(DRAMCommand(CommandKind.PRECHARGE, cycle, rank, bank, open_row))
+        cycle += timing.tRP
+    commands.append(DRAMCommand(CommandKind.ACTIVATE, cycle, rank, bank, row))
+    cycle += timing.tRCD
+    commands.append(DRAMCommand(column, cycle, rank, bank, row))
+    return commands

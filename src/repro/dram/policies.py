@@ -1,0 +1,277 @@
+"""Memory-controller transaction scheduling policies.
+
+The paper's systems all use FR-FCFS [Rixner et al., ISCA 2000]
+(:mod:`repro.dram.scheduler`); Section VI discusses how policies that trade
+row-buffer locality for fairness compose with BuMP.  This module provides the
+alternatives the discussion and the ablation benchmarks need.  Every policy
+exposes the same queue interface the controller consumes:
+
+* ``push(request, coords)`` -- append one pending transfer;
+* ``pop_next(open_rows)`` -- remove and return the next ``(request, coords)``
+  to serve given the currently open row of every bank;
+* ``any_pending_for_row(coords)`` -- whether another visible request targets
+  the same row (consulted by the close-row page policy);
+* ``window`` and ``__len__``.
+
+Policies provided:
+
+``FCFSQueue``
+    Strict arrival order.  The lower bound on row-buffer locality: only
+    accidentally adjacent same-row requests merge into row hits.
+
+``FRFCFSQueue``
+    The paper's policy (re-exported from :mod:`repro.dram.scheduler`).
+
+``BankRoundRobinQueue``
+    A fairness-oriented scheduler in the spirit of fair queuing memory
+    systems: it rotates service across cores, picking each core's oldest
+    request (row hits within the chosen core are still preferred).  Trades
+    row locality for per-core fairness, the trade-off Section VI cites.
+
+``DrainWhenFullWriteQueue``
+    A write-buffering wrapper: writes are held in a separate queue and
+    drained in row-sorted batches once a high-watermark is reached (or at
+    the end of the run), while reads flow through the wrapped policy.  This
+    mimics how real controllers schedule writebacks opportunistically and is
+    the mechanism VWQ-style proposals build on.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.request import DRAMRequest
+from repro.dram.address_mapping import DRAMCoordinates
+from repro.dram.scheduler import FRFCFSQueue
+
+PendingEntry = Tuple[DRAMRequest, DRAMCoordinates]
+
+
+class FCFSQueue:
+    """Strict first-come-first-served transaction queue."""
+
+    def __init__(self, window: int = 64) -> None:
+        if window < 1:
+            raise ValueError("scheduling window must hold at least one request")
+        self.window = window
+        self._pending: List[PendingEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def pending(self) -> List[PendingEntry]:
+        """The queued requests, oldest first (read-only view for tests)."""
+        return list(self._pending)
+
+    def push(self, request: DRAMRequest, coords: DRAMCoordinates) -> None:
+        """Append a request to the tail of the queue."""
+        self._pending.append((request, coords))
+
+    def pop_next(self, open_rows: dict) -> Optional[PendingEntry]:
+        """Serve strictly in arrival order regardless of row-buffer state."""
+        if not self._pending:
+            return None
+        return self._pending.pop(0)
+
+    def any_pending_for_row(self, coords: DRAMCoordinates) -> bool:
+        """Whether a queued request within the window targets the same row."""
+        limit = min(self.window, len(self._pending))
+        for index in range(limit):
+            other = self._pending[index][1]
+            if (other.rank == coords.rank and other.bank == coords.bank
+                    and other.row == coords.row):
+                return True
+        return False
+
+
+class BankRoundRobinQueue:
+    """Core-rotating scheduler that bounds any one core's share of service.
+
+    Requests are bucketed per issuing core; the scheduler rotates across the
+    cores that have pending requests, and within the chosen core's bucket it
+    prefers a request hitting an open row, falling back to the core's oldest
+    request.  This approximates fair-queuing memory scheduling: no core can
+    monopolise the row buffer with a long same-row run while others starve.
+    """
+
+    def __init__(self, window: int = 64) -> None:
+        if window < 1:
+            raise ValueError("scheduling window must hold at least one request")
+        self.window = window
+        self._per_core: "OrderedDict[int, List[PendingEntry]]" = OrderedDict()
+        self._size = 0
+        self._rotation: List[int] = []
+        self._rotation_index = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def pending(self) -> List[PendingEntry]:
+        """All queued requests, grouped by core (read-only view for tests)."""
+        entries: List[PendingEntry] = []
+        for bucket in self._per_core.values():
+            entries.extend(bucket)
+        return entries
+
+    def push(self, request: DRAMRequest, coords: DRAMCoordinates) -> None:
+        """Append a request to its core's bucket."""
+        self._per_core.setdefault(request.core, []).append((request, coords))
+        self._size += 1
+
+    def _next_core(self) -> Optional[int]:
+        cores = [core for core, bucket in self._per_core.items() if bucket]
+        if not cores:
+            return None
+        if self._rotation != cores:
+            self._rotation = cores
+            self._rotation_index %= len(cores)
+        core = self._rotation[self._rotation_index % len(self._rotation)]
+        self._rotation_index = (self._rotation_index + 1) % len(self._rotation)
+        return core
+
+    def pop_next(self, open_rows: dict) -> Optional[PendingEntry]:
+        """Pick the next core in rotation; prefer its row hits, else its oldest."""
+        core = self._next_core()
+        if core is None:
+            return None
+        bucket = self._per_core[core]
+        limit = min(self.window, len(bucket))
+        chosen = 0
+        for index in range(limit):
+            coords = bucket[index][1]
+            if open_rows.get((coords.rank, coords.bank)) == coords.row:
+                chosen = index
+                break
+        entry = bucket.pop(chosen)
+        self._size -= 1
+        if not bucket:
+            del self._per_core[core]
+        return entry
+
+    def any_pending_for_row(self, coords: DRAMCoordinates) -> bool:
+        """Whether any queued request targets the same row."""
+        seen = 0
+        for bucket in self._per_core.values():
+            for _, other in bucket:
+                if seen >= self.window:
+                    return False
+                seen += 1
+                if (other.rank == coords.rank and other.bank == coords.bank
+                        and other.row == coords.row):
+                    return True
+        return False
+
+
+class DrainWhenFullWriteQueue:
+    """Write-buffering wrapper around a read scheduling policy.
+
+    Reads are pushed straight into ``read_queue``; writes accumulate in a
+    separate buffer.  Once the buffer reaches ``high_watermark`` entries the
+    wrapper switches to drain mode and serves writes -- sorted by (rank, bank,
+    row) so same-row writes stream back to back -- until the buffer falls to
+    ``low_watermark``.  This is how commodity controllers amortise bus
+    turnaround and row activations for writebacks, and it is the substrate
+    eager-writeback mechanisms assume.
+    """
+
+    def __init__(self, read_queue=None, window: int = 64,
+                 high_watermark: int = 32, low_watermark: int = 8) -> None:
+        if high_watermark <= low_watermark:
+            raise ValueError("high watermark must exceed the low watermark")
+        self.window = window
+        self.read_queue = read_queue if read_queue is not None else FRFCFSQueue(window)
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self._writes: List[PendingEntry] = []
+        self._draining = False
+
+    def __len__(self) -> int:
+        return len(self.read_queue) + len(self._writes)
+
+    @property
+    def buffered_writes(self) -> int:
+        """Number of writes currently held in the write buffer."""
+        return len(self._writes)
+
+    @property
+    def draining(self) -> bool:
+        """True while the wrapper is in write-drain mode."""
+        return self._draining
+
+    def push(self, request: DRAMRequest, coords: DRAMCoordinates) -> None:
+        """Route writes to the write buffer and reads to the wrapped queue."""
+        if request.is_write:
+            self._writes.append((request, coords))
+        else:
+            self.read_queue.push(request, coords)
+
+    def _pop_write(self, open_rows: dict) -> PendingEntry:
+        # Prefer a write hitting an open row; otherwise take the write whose
+        # (rank, bank, row) sorts first so subsequent pops stream the same row.
+        for index, (_, coords) in enumerate(self._writes):
+            if open_rows.get((coords.rank, coords.bank)) == coords.row:
+                return self._writes.pop(index)
+        best = min(range(len(self._writes)),
+                   key=lambda i: (self._writes[i][1].rank, self._writes[i][1].bank,
+                                  self._writes[i][1].row, i))
+        return self._writes.pop(best)
+
+    def pop_next(self, open_rows: dict) -> Optional[PendingEntry]:
+        """Serve reads normally; batch-drain writes past the high watermark."""
+        if self._writes and len(self._writes) >= self.high_watermark:
+            self._draining = True
+        if self._draining:
+            if self._writes:
+                entry = self._pop_write(open_rows)
+                if len(self._writes) <= self.low_watermark:
+                    self._draining = False
+                return entry
+            self._draining = False
+
+        entry = self.read_queue.pop_next(open_rows)
+        if entry is not None:
+            return entry
+        if self._writes:
+            return self._pop_write(open_rows)
+        return None
+
+    def any_pending_for_row(self, coords: DRAMCoordinates) -> bool:
+        """Whether any queued read or buffered write targets the same row."""
+        if self.read_queue.any_pending_for_row(coords):
+            return True
+        for _, other in self._writes[: self.window]:
+            if (other.rank == coords.rank and other.bank == coords.bank
+                    and other.row == coords.row):
+                return True
+        return False
+
+
+#: Registry used by the controller and the system configuration.
+SCHEDULER_FACTORIES = {
+    "fcfs": FCFSQueue,
+    "frfcfs": FRFCFSQueue,
+    "bank_round_robin": BankRoundRobinQueue,
+    "write_drain": DrainWhenFullWriteQueue,
+}
+
+
+def make_scheduler(name: str, window: int = 64):
+    """Instantiate a scheduling policy by name.
+
+    Raises ``KeyError`` with the list of known policies for unknown names so
+    configuration typos fail loudly.
+    """
+    try:
+        factory = SCHEDULER_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(SCHEDULER_FACTORIES))
+        raise KeyError(f"unknown scheduler {name!r}; known schedulers: {known}") from None
+    return factory(window=window)
+
+
+def scheduler_names() -> List[str]:
+    """Names of all registered scheduling policies."""
+    return sorted(SCHEDULER_FACTORIES)

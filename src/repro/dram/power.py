@@ -1,0 +1,279 @@
+"""IDD-current-based DRAM power model (Micron power-calculator style).
+
+The headline energy results of the paper use the per-event constants of
+Table III (:mod:`repro.energy.params`).  This module provides the lower-level
+model those constants were derived from: the Micron DDR3 power calculator,
+which starts from the device's IDD currents and the measured command activity
+and computes per-rank power in four groups:
+
+* **background power** -- a weighted mix of the precharge/active standby and
+  power-down states, driven by how often any bank of the rank is open and by
+  whether the controller uses power-down modes during idle gaps;
+* **activate power** -- proportional to how often rows are opened, i.e. to the
+  average interval between ACTIVATE commands (``tRC``-equivalent spacing);
+* **read/write burst power** -- proportional to data-bus utilisation;
+* **termination power** -- I/O drivers plus on-die termination on the rank
+  itself and on the other ranks sharing the channel.
+
+The model is deliberately independent from :mod:`repro.energy.dram_energy` so
+the two can be cross-checked: ``tests/test_dram_power.py`` asserts that for
+the paper's operating points the IDD model lands within a reasonable band of
+the Table III constants, and the energy-model ablation benchmark reports both.
+
+Reference: Micron TN-41-01 "Calculating Memory System Power for DDR3" and the
+2 Gbit DDR3-1600 x8 data sheet current values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.params import DDR3Timing, DRAMOrganization
+
+
+@dataclass
+class IDDCurrents:
+    """IDD currents (mA) and voltage of one DDR3-1600 2 Gbit x8 device."""
+
+    #: Operating voltage.
+    vdd: float = 1.5
+    #: One-bank activate-precharge current (measured at tRC min cadence).
+    idd0: float = 95.0
+    #: Precharge power-down current.
+    idd2p: float = 12.0
+    #: Precharge standby current (all banks closed, CKE high).
+    idd2n: float = 42.0
+    #: Active power-down current.
+    idd3p: float = 40.0
+    #: Active standby current (at least one bank open, CKE high).
+    idd3n: float = 57.0
+    #: Operating burst read current.
+    idd4r: float = 180.0
+    #: Operating burst write current.
+    idd4w: float = 185.0
+    #: Burst refresh current.
+    idd5b: float = 215.0
+    #: Devices per rank (x8 devices on a 64-bit channel).
+    devices_per_rank: int = 8
+
+    def power_w(self, current_ma: float) -> float:
+        """Convert a per-device current into per-rank power in watts."""
+        return current_ma * 1e-3 * self.vdd * self.devices_per_rank
+
+
+@dataclass
+class TerminationPowers:
+    """Per-transfer I/O and termination power (W) while a burst is on the bus.
+
+    Values follow the Micron calculator's defaults for a 2-DIMM-per-channel
+    DDR3 topology: the rank driving or receiving data dissipates ``dq_*``;
+    every other rank on the channel dissipates ``odt_*`` in its terminators.
+    """
+
+    dq_read_w: float = 0.30
+    dq_write_w: float = 0.92
+    odt_read_other_w: float = 0.76
+    odt_write_other_w: float = 0.92
+
+
+@dataclass
+class RankActivity:
+    """Observed activity of one rank over a measurement interval.
+
+    All cycle quantities are in memory-bus cycles of the same interval
+    ``elapsed_cycles``.
+    """
+
+    elapsed_cycles: float
+    activations: float
+    read_cycles: float
+    write_cycles: float
+    #: Fraction of the interval during which at least one bank was open.
+    any_bank_open_fraction: float = 1.0
+    #: Fraction of the idle (non-bursting) time spent in power-down.
+    powerdown_fraction: float = 0.0
+
+    @property
+    def read_duty(self) -> float:
+        """Fraction of the interval the data bus carried read bursts."""
+        if self.elapsed_cycles <= 0:
+            return 0.0
+        return min(self.read_cycles / self.elapsed_cycles, 1.0)
+
+    @property
+    def write_duty(self) -> float:
+        """Fraction of the interval the data bus carried write bursts."""
+        if self.elapsed_cycles <= 0:
+            return 0.0
+        return min(self.write_cycles / self.elapsed_cycles, 1.0)
+
+
+@dataclass
+class RankPowerBreakdown:
+    """Average power of one rank over the measured interval, in watts."""
+
+    background_w: float
+    activate_w: float
+    read_w: float
+    write_w: float
+    termination_w: float
+    refresh_w: float
+
+    @property
+    def total_w(self) -> float:
+        """Total average power of the rank."""
+        return (self.background_w + self.activate_w + self.read_w + self.write_w
+                + self.termination_w + self.refresh_w)
+
+    @property
+    def dynamic_w(self) -> float:
+        """Power attributable to command/data activity (everything but background)."""
+        return self.total_w - self.background_w
+
+    def energy_nj(self, elapsed_seconds: float) -> float:
+        """Total rank energy over ``elapsed_seconds`` in nanojoules."""
+        return self.total_w * elapsed_seconds * 1e9
+
+
+class DRAMPowerModel:
+    """Micron-calculator-style power model for a DDR3 rank."""
+
+    #: ACTIVATE-to-ACTIVATE spacing at which IDD0 is specified (tRC).
+    def __init__(self, currents: IDDCurrents = None,
+                 termination: TerminationPowers = None,
+                 timing: DDR3Timing = None,
+                 org: DRAMOrganization = None) -> None:
+        self.currents = currents if currents is not None else IDDCurrents()
+        self.termination = termination if termination is not None else TerminationPowers()
+        self.timing = timing if timing is not None else DDR3Timing()
+        self.org = org if org is not None else DRAMOrganization()
+
+    # ------------------------------------------------------------------ #
+    # Component powers
+    # ------------------------------------------------------------------ #
+    def background_power_w(self, activity: RankActivity) -> float:
+        """Standby/power-down power of the rank, weighted by bank-open time."""
+        c = self.currents
+        active_fraction = min(max(activity.any_bank_open_fraction, 0.0), 1.0)
+        pd = min(max(activity.powerdown_fraction, 0.0), 1.0)
+
+        active_standby = c.power_w(c.idd3n)
+        active_pd = c.power_w(c.idd3p)
+        precharge_standby = c.power_w(c.idd2n)
+        precharge_pd = c.power_w(c.idd2p)
+
+        active_w = active_fraction * ((1.0 - pd) * active_standby + pd * active_pd)
+        precharge_w = (1.0 - active_fraction) * (
+            (1.0 - pd) * precharge_standby + pd * precharge_pd
+        )
+        return active_w + precharge_w
+
+    def activate_power_w(self, activity: RankActivity) -> float:
+        """Row activate/precharge power from the observed activate cadence.
+
+        The IDD0 specification point is one activate-precharge pair every tRC;
+        its non-background component scales inversely with the actual average
+        spacing between activations.
+        """
+        if activity.activations <= 0 or activity.elapsed_cycles <= 0:
+            return 0.0
+        c = self.currents
+        timing = self.timing
+        spec_power = c.power_w(c.idd0) - c.power_w(c.idd3n)
+        actual_interval = activity.elapsed_cycles / activity.activations
+        if actual_interval <= 0:
+            return 0.0
+        scale = timing.tRC / max(actual_interval, float(timing.tRC))
+        return spec_power * scale
+
+    def read_power_w(self, activity: RankActivity) -> float:
+        """Array read-burst power, scaled by read data-bus duty cycle."""
+        c = self.currents
+        return (c.power_w(c.idd4r) - c.power_w(c.idd3n)) * activity.read_duty
+
+    def write_power_w(self, activity: RankActivity) -> float:
+        """Array write-burst power, scaled by write data-bus duty cycle."""
+        c = self.currents
+        return (c.power_w(c.idd4w) - c.power_w(c.idd3n)) * activity.write_duty
+
+    def termination_power_w(self, activity: RankActivity) -> float:
+        """I/O driver and on-die-termination power of the rank and its peers."""
+        t = self.termination
+        other_ranks = max(self.org.ranks_per_channel - 1, 0)
+        read_w = activity.read_duty * (t.dq_read_w + other_ranks * t.odt_read_other_w)
+        write_w = activity.write_duty * (t.dq_write_w + other_ranks * t.odt_write_other_w)
+        return read_w + write_w
+
+    def refresh_power_w(self) -> float:
+        """Average refresh power of the rank (IDD5 burst amortised over tREFI)."""
+        c = self.currents
+        # One tRFC-long burst at IDD5B every tREFI; 2 Gbit DDR3: tRFC = 160 ns,
+        # tREFI = 7.8 us.
+        tRFC_ns = 160.0
+        tREFI_ns = 7800.0
+        burst_fraction = tRFC_ns / tREFI_ns
+        return (c.power_w(c.idd5b) - c.power_w(c.idd3n)) * burst_fraction
+
+    # ------------------------------------------------------------------ #
+    # Aggregation
+    # ------------------------------------------------------------------ #
+    def rank_power(self, activity: RankActivity,
+                   include_refresh: bool = True) -> RankPowerBreakdown:
+        """Full power breakdown of one rank for the observed activity."""
+        return RankPowerBreakdown(
+            background_w=self.background_power_w(activity),
+            activate_w=self.activate_power_w(activity),
+            read_w=self.read_power_w(activity),
+            write_w=self.write_power_w(activity),
+            termination_w=self.termination_power_w(activity),
+            refresh_w=self.refresh_power_w() if include_refresh else 0.0,
+        )
+
+    def activation_energy_nj(self) -> float:
+        """Energy of a single activate-precharge pair implied by IDD0.
+
+        Useful as a cross-check against Table III's 29.7 nJ activation energy
+        (the values agree to within the fidelity of the published constants).
+        """
+        c = self.currents
+        timing = self.timing
+        spec_power = c.power_w(c.idd0) - c.power_w(c.idd3n)
+        tRC_seconds = timing.tRC * timing.clock_ns * 1e-9
+        return spec_power * tRC_seconds * 1e9
+
+    def transfer_energy_nj(self, is_write: bool) -> float:
+        """Burst + termination energy of one 64-byte transfer (cross-check)."""
+        c = self.currents
+        t = self.termination
+        timing = self.timing
+        burst_seconds = timing.burst_cycles * timing.clock_ns * 1e-9
+        other_ranks = max(self.org.ranks_per_channel - 1, 0)
+        if is_write:
+            array_w = c.power_w(c.idd4w) - c.power_w(c.idd3n)
+            term_w = t.dq_write_w + other_ranks * t.odt_write_other_w
+        else:
+            array_w = c.power_w(c.idd4r) - c.power_w(c.idd3n)
+            term_w = t.dq_read_w + other_ranks * t.odt_read_other_w
+        return (array_w + term_w) * burst_seconds * 1e9
+
+
+def activity_from_counters(elapsed_cycles: float, activations: float,
+                           reads: float, writes: float,
+                           burst_cycles: int = 4,
+                           ranks_sharing: int = 1,
+                           any_bank_open_fraction: float = 1.0,
+                           powerdown_fraction: float = 0.0) -> RankActivity:
+    """Build a :class:`RankActivity` from controller-level counters.
+
+    ``ranks_sharing`` spreads channel-level counters evenly over the ranks of
+    the channel when per-rank attribution is not available.
+    """
+    ranks = max(ranks_sharing, 1)
+    return RankActivity(
+        elapsed_cycles=elapsed_cycles,
+        activations=activations / ranks,
+        read_cycles=reads * burst_cycles / ranks,
+        write_cycles=writes * burst_cycles / ranks,
+        any_bank_open_fraction=any_bank_open_fraction,
+        powerdown_fraction=powerdown_fraction,
+    )

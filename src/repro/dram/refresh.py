@@ -1,0 +1,127 @@
+"""DRAM refresh modelling.
+
+DDR3 devices must refresh every row once per 64 ms retention window.  The
+controller satisfies this by issuing one auto-refresh (REF) command per rank
+every ``tREFI`` (7.8 us at normal temperature); each REF occupies the rank
+for ``tRFC`` cycles and closes every open row in it.
+
+The block-granular controller does not interleave refreshes into its analytic
+schedule (their first-order effects are captured here instead):
+
+* **Bandwidth/latency overhead** -- the fraction of time a rank is unavailable
+  is ``tRFC / tREFI`` (about 2.8% for 2 Gbit DDR3-1600), which
+  :class:`RefreshScheduler` exposes so the timing sensitivity studies can
+  charge it.
+* **Energy overhead** -- every REF command costs roughly one full-row
+  activation plus precharge per bank; :meth:`refresh_energy_nj` integrates
+  that over a run's duration for the energy sensitivity analysis.
+* **Row-buffer interaction** -- a REF closes all open rows of its rank, so
+  long-idle open rows do not survive refresh; :meth:`survives_refresh` lets
+  the characterisation code bound how much row-buffer locality an *infinite*
+  open-row policy could ever harvest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.common.params import DDR3Timing, DRAMOrganization
+
+
+@dataclass
+class RefreshParams:
+    """Refresh timing of a 2 Gbit DDR3 device (Micron data sheet values)."""
+
+    #: Average refresh command interval in nanoseconds (7.8 us).
+    tREFI_ns: float = 7800.0
+    #: Refresh cycle time in memory-bus cycles (160 ns at 1.25 ns/cycle).
+    tRFC_cycles: int = 128
+    #: Retention window in milliseconds; every row is refreshed once per window.
+    retention_ms: float = 64.0
+    #: Energy of one REF command per rank in nanojoules.  A REF internally
+    #: activates and precharges several rows concurrently; the Micron power
+    #: calculator attributes roughly 8x a single activation to it for a
+    #: 2 Gbit x8 part.
+    refresh_energy_nj: float = 237.0
+
+    @property
+    def tREFI_cycles(self) -> float:
+        """Refresh interval in memory-bus cycles."""
+        return self.tREFI_ns / DDR3Timing().clock_ns
+
+    @property
+    def refreshes_per_window(self) -> int:
+        """Number of REF commands issued per retention window (8192 for DDR3)."""
+        return int(round(self.retention_ms * 1e6 / self.tREFI_ns))
+
+
+class RefreshScheduler:
+    """Accounts for per-rank auto-refresh activity over a simulated interval."""
+
+    def __init__(self, params: RefreshParams = None,
+                 org: DRAMOrganization = None) -> None:
+        self.params = params if params is not None else RefreshParams()
+        self.org = org if org is not None else DRAMOrganization()
+
+    # ------------------------------------------------------------------ #
+    # Overheads
+    # ------------------------------------------------------------------ #
+    @property
+    def unavailability(self) -> float:
+        """Fraction of time each rank is blocked by refresh (tRFC / tREFI)."""
+        return self.params.tRFC_cycles / self.params.tREFI_cycles
+
+    def refreshes_in(self, elapsed_bus_cycles: float) -> float:
+        """REF commands issued to one rank during ``elapsed_bus_cycles``."""
+        if elapsed_bus_cycles <= 0:
+            return 0.0
+        return elapsed_bus_cycles / self.params.tREFI_cycles
+
+    def total_refreshes_in(self, elapsed_bus_cycles: float) -> float:
+        """REF commands issued across every rank of the memory system."""
+        ranks = self.org.channels * self.org.ranks_per_channel
+        return ranks * self.refreshes_in(elapsed_bus_cycles)
+
+    def refresh_energy_nj(self, elapsed_seconds: float) -> float:
+        """Total refresh energy across the memory system over ``elapsed_seconds``."""
+        if elapsed_seconds <= 0:
+            return 0.0
+        elapsed_ns = elapsed_seconds * 1e9
+        refreshes_per_rank = elapsed_ns / self.params.tREFI_ns
+        ranks = self.org.channels * self.org.ranks_per_channel
+        return refreshes_per_rank * ranks * self.params.refresh_energy_nj
+
+    def refresh_power_w(self) -> float:
+        """Average refresh power of the whole memory system in watts."""
+        # One REF of refresh_energy_nj every tREFI_ns, per rank.
+        per_rank_w = self.params.refresh_energy_nj / self.params.tREFI_ns
+        ranks = self.org.channels * self.org.ranks_per_channel
+        return per_rank_w * ranks
+
+    # ------------------------------------------------------------------ #
+    # Row-buffer interaction
+    # ------------------------------------------------------------------ #
+    def survives_refresh(self, idle_bus_cycles: float) -> bool:
+        """Whether an open row left idle for ``idle_bus_cycles`` stays open.
+
+        Any idle span longer than one refresh interval is guaranteed to be
+        interrupted by a REF, which precharges the bank.  Used by the
+        characterisation code to cap the *ideal* row-buffer locality.
+        """
+        return idle_bus_cycles < self.params.tREFI_cycles
+
+    def schedule_cycles(self, elapsed_bus_cycles: float) -> List[float]:
+        """Issue cycles of the REF commands to one rank during an interval.
+
+        Returns the (deterministic, evenly spaced) refresh issue cycles; the
+        command-level tests feed these into the timing checker together with
+        regular traffic to confirm the constraints compose.
+        """
+        interval = self.params.tREFI_cycles
+        cycles = []
+        cycle = interval
+        while cycle <= elapsed_bus_cycles:
+            cycles.append(cycle)
+            cycle += interval
+        return cycles

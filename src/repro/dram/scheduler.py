@@ -1,0 +1,86 @@
+"""FR-FCFS transaction scheduling.
+
+The memory controllers in the paper use First-Ready, First-Come-First-Served
+scheduling [Rixner et al., ISCA 2000]: among the requests in the transaction
+queue, a request that would hit in an already-open row buffer is served
+before older requests that would require an activation; ties are broken by
+age.  The scheduler only looks at a bounded window of the oldest pending
+requests, which is why accesses to the same DRAM page that are separated by
+more than the window in the arrival stream cannot be merged into row hits --
+the effect Section II.C of the paper identifies as the reason row-buffer
+locality goes unexploited in server CMPs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.common.request import DRAMRequest
+from repro.dram.address_mapping import DRAMCoordinates
+
+PendingEntry = Tuple[DRAMRequest, DRAMCoordinates]
+
+
+class FRFCFSQueue:
+    """Bounded-window FR-FCFS transaction queue for one channel."""
+
+    def __init__(self, window: int = 64) -> None:
+        if window < 1:
+            raise ValueError("scheduling window must hold at least one request")
+        self.window = window
+        self._pending: List[PendingEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def pending(self) -> List[PendingEntry]:
+        """The queued requests, oldest first (read-only view for tests)."""
+        return list(self._pending)
+
+    def push(self, request: DRAMRequest, coords: DRAMCoordinates) -> None:
+        """Append a request to the tail of the queue."""
+        self._pending.append((request, coords))
+
+    def pop_next(self, open_rows: dict) -> Optional[PendingEntry]:
+        """Remove and return the next request to serve under FR-FCFS.
+
+        ``open_rows`` maps ``(rank, bank)`` to the row currently open in that
+        bank (or ``None``).  Within the scheduling window the oldest row-hit
+        request wins; when no queued request would hit, the oldest *demand*
+        request wins (demand reads and writebacks are latency-critical, while
+        prefetches and bulk transfers can tolerate extra queueing); with
+        neither, the oldest request wins.  Returns ``None`` when the queue is
+        empty.
+        """
+        pending = self._pending
+        if not pending:
+            return None
+        limit = self.window if self.window < len(pending) else len(pending)
+        chosen = None
+        oldest_demand = None
+        for index in range(limit):
+            request, coords = pending[index]
+            if open_rows.get((coords.rank, coords.bank)) == coords.row:
+                chosen = index
+                break
+            if oldest_demand is None and request.kind.is_demand:
+                oldest_demand = index
+        if chosen is None:
+            chosen = oldest_demand if oldest_demand is not None else 0
+        return pending.pop(chosen)
+
+    def any_pending_for_row(self, coords: DRAMCoordinates) -> bool:
+        """True when another queued request (within the window) targets the same row.
+
+        Used by the close-row page policy to decide whether to keep a row
+        open after an access (FR-FCFS close-row still merges back-to-back
+        hits it can see).
+        """
+        limit = min(self.window, len(self._pending))
+        for index in range(limit):
+            other = self._pending[index][1]
+            if (other.rank == coords.rank and other.bank == coords.bank
+                    and other.row == coords.row):
+                return True
+        return False

@@ -1,0 +1,35 @@
+"""Energy model of the simulated server.
+
+The paper's custom energy-modelling framework (Section V.A, Table III)
+combines per-component constants from McPAT, CACTI and the Micron DDR3 power
+model.  This package reproduces that framework:
+
+* :mod:`repro.energy.params` -- the constants of Table III;
+* :mod:`repro.energy.dram_energy` -- Micron-style DRAM energy: activation,
+  read/write burst, I/O termination and background power;
+* :mod:`repro.energy.chip_energy` -- cores, LLC, NOC and memory-controller
+  energy;
+* :mod:`repro.energy.structures` -- storage and access energy of BuMP's own
+  tables (Sections IV.D and V.F);
+* :mod:`repro.energy.accounting` -- the aggregation used by Figures 1, 9 and
+  13: total server energy by component, memory energy per access split into
+  activation vs. burst/IO, and energy per instruction.
+"""
+
+from repro.energy.accounting import EnergyBreakdown, MemoryEnergyPerAccess, ServerEnergyModel
+from repro.energy.dram_energy import DRAMEnergyModel
+from repro.energy.chip_energy import ChipEnergyModel
+from repro.energy.params import ChipEnergyParams, DRAMEnergyParams
+from repro.energy.structures import BuMPStructureEnergy, SRAMStructureModel
+
+__all__ = [
+    "EnergyBreakdown",
+    "MemoryEnergyPerAccess",
+    "ServerEnergyModel",
+    "DRAMEnergyModel",
+    "ChipEnergyModel",
+    "ChipEnergyParams",
+    "DRAMEnergyParams",
+    "BuMPStructureEnergy",
+    "SRAMStructureModel",
+]

@@ -1,0 +1,82 @@
+"""Energy and power constants of Table III of the paper.
+
+All energies are in nanojoules, all powers in watts, matching the table:
+
+======================  ==========================================
+Component               Value
+======================  ==========================================
+Core                    peak dynamic 700 mW, leakage 70 mW
+LLC                     read 0.63 nJ, write 0.70 nJ, leakage 750 mW
+NOC                     peak dynamic 55 mW, leakage 30 mW
+Memory controller       250 mW dynamic at 12.8 GB/s
+DRAM (per 2GB rank,     background 540-770 mW, activation 29.7 nJ,
+64-byte transfer)       read 8.1 nJ / write 8.4 nJ,
+                        I/O termination read 1.5 nJ / RRead 3.8 nJ,
+                        write 4.6 nJ / RWrite 4.6 nJ
+======================  ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DRAMEnergyParams:
+    """Per-rank DRAM power and per-transfer energies (Table III, last row)."""
+
+    #: Idle (powered, no traffic) background power per rank, watts.
+    background_power_idle_w: float = 0.540
+    #: Background power per rank at full activity, watts.
+    background_power_active_w: float = 0.770
+    #: Energy of one row activation (an 8KB page open + implicit precharge), nJ.
+    activation_energy_nj: float = 29.7
+    #: Burst (array read/write) energy per 64-byte transfer, nJ.
+    read_energy_nj: float = 8.1
+    write_energy_nj: float = 8.4
+    #: I/O and termination energy per 64-byte transfer, nJ.  The "R" variants
+    #: are termination dissipated in the *other* ranks on the shared channel;
+    #: with four ranks per channel essentially every transfer pays them.
+    io_read_nj: float = 1.5
+    io_rread_nj: float = 3.8
+    io_write_nj: float = 4.6
+    io_rwrite_nj: float = 4.6
+
+    @property
+    def read_transfer_energy_nj(self) -> float:
+        """Total burst + termination energy of one 64-byte read."""
+        return self.read_energy_nj + self.io_read_nj + self.io_rread_nj
+
+    @property
+    def write_transfer_energy_nj(self) -> float:
+        """Total burst + termination energy of one 64-byte write."""
+        return self.write_energy_nj + self.io_write_nj + self.io_rwrite_nj
+
+
+@dataclass
+class ChipEnergyParams:
+    """Per-component on-chip power/energy constants (Table III)."""
+
+    core_peak_dynamic_w: float = 0.700
+    core_leakage_w: float = 0.070
+    #: IPC at which a core dissipates its peak dynamic power; actual dynamic
+    #: power is scaled by achieved-IPC / reference-IPC as in the paper.
+    core_reference_ipc: float = 2.0
+
+    llc_read_energy_nj: float = 0.63
+    llc_write_energy_nj: float = 0.70
+    llc_leakage_w: float = 0.750
+
+    noc_peak_dynamic_w: float = 0.055
+    noc_leakage_w: float = 0.030
+
+    #: Memory-controller dynamic power at the reference bandwidth.
+    mc_dynamic_w_at_ref: float = 0.250
+    mc_reference_bandwidth_gbps: float = 12.8
+    #: Number of memory controllers (one per channel).
+    mc_count: int = 2
+
+    #: Energy per access of BuMP's region-density tracking tables and of the
+    #: bulk history / dirty region tables (Section V.F: ~2 pJ and ~4 pJ).
+    bump_rdtt_access_energy_nj: float = 0.002
+    bump_bht_drt_access_energy_nj: float = 0.004

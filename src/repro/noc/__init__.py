@@ -1,0 +1,16 @@
+"""Network-on-chip substrate.
+
+The simulated CMP connects its sixteen cores to the eight LLC banks and two
+memory controllers through a 16x8 crossbar (Table II).  For the purposes of
+the paper's evaluation the NOC matters only as a bandwidth/energy accounting
+point (Figure 12): BuMP adds traffic because L1-to-LLC requests carry the
+triggering PC, because LLC access/eviction streams are forwarded to BuMP's
+tables, and because bulk requests and overfetched data cross the crossbar.
+
+:class:`repro.noc.crossbar.Crossbar` counts messages by type and converts
+them into link utilisation and dynamic energy.
+"""
+
+from repro.noc.crossbar import Crossbar, MessageType
+
+__all__ = ["Crossbar", "MessageType"]

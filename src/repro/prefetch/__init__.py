@@ -1,0 +1,31 @@
+"""Prefetcher baselines.
+
+The paper compares BuMP against two read-side prefetching baselines:
+
+* :class:`repro.prefetch.stride.StridePrefetcher` -- the conventional stride
+  prefetcher integrated in both baseline systems (Table II): when two
+  consecutive accesses from the same instruction are separated by the same
+  stride, it prefetches the next four blocks into the LLC.
+* :class:`repro.prefetch.sms.SpatialMemoryStreaming` -- Spatial Memory
+  Streaming [Somogyi et al., ISCA 2006], the state-of-the-art spatial
+  footprint prefetcher the paper evaluates next to the LLC.  SMS learns the
+  per-(PC, offset) footprint of spatial regions and, on a trigger access that
+  hits in its pattern history table, fetches exactly the previously observed
+  footprint.  As in the paper, SMS observes and predicts only load-triggered
+  traffic.
+
+Both are :class:`repro.cache.agent.LLCAgent` implementations, so the system
+model treats them uniformly with BuMP.
+"""
+
+from repro.prefetch.nextline import NextLinePrefetcher
+from repro.prefetch.sms import SpatialMemoryStreaming
+from repro.prefetch.stealth import StealthPrefetcher
+from repro.prefetch.stride import StridePrefetcher
+
+__all__ = [
+    "NextLinePrefetcher",
+    "SpatialMemoryStreaming",
+    "StealthPrefetcher",
+    "StridePrefetcher",
+]

@@ -1,0 +1,176 @@
+"""Spatial Memory Streaming (SMS) prefetcher baseline.
+
+SMS [Somogyi et al., ISCA 2006; Kumar & Wilkerson, ISCA 1998] learns, per
+*(trigger PC, offset-in-region)*, the exact *footprint* -- the bit-vector of
+blocks touched -- of spatial regions, and on a later trigger access that hits
+in the pattern history prefetches precisely that footprint.
+
+Two structures:
+
+* the **active generation table** (AGT) records the footprint of regions that
+  currently have blocks live on chip; a generation starts at the first
+  (trigger) access to the region and ends at the first eviction of one of its
+  blocks or at an AGT conflict, at which point the footprint is copied into
+  the pattern history table;
+* the **pattern history table** (PHT), indexed by (trigger PC, trigger
+  offset), holds the most recent footprint observed for that code point.
+
+Per the paper's configuration (Section V.A), SMS is placed next to the LLC so
+its metadata is shared by all cores, and -- crucially for the comparison with
+BuMP -- it observes and predicts only *load-triggered* traffic: store misses
+and LLC writebacks pass it by, which caps the row-buffer locality it can
+recover (Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.addressing import (
+    BLOCK_SIZE,
+    BLOCKS_PER_REGION,
+    REGION_SIZE,
+    block_index_in_region,
+    region_address,
+)
+from repro.common.assoc_table import AssociativeTable
+from repro.common.request import LLCRequest
+from repro.common.stats import StatGroup
+from repro.cache.agent import AgentActions, LLCAgent
+from repro.cache.set_assoc import EvictedLine
+
+
+@dataclass
+class _Generation:
+    """Footprint of one active spatial region generation."""
+
+    trigger_pc: int
+    trigger_offset: int
+    pattern: int
+
+
+class SpatialMemoryStreaming(LLCAgent):
+    """SMS spatial footprint prefetcher attached to the LLC."""
+
+    name = "sms"
+
+    def __init__(self, agt_entries: int = 1024, pht_entries: int = 16384,
+                 associativity: int = 16, region_size: int = REGION_SIZE) -> None:
+        self.region_size = region_size
+        self.blocks_per_region = region_size // BLOCK_SIZE
+        self.agt: AssociativeTable[int, _Generation] = AssociativeTable(
+            agt_entries, associativity, name="sms_agt"
+        )
+        self.pht: AssociativeTable[tuple, int] = AssociativeTable(
+            pht_entries, associativity, name="sms_pht"
+        )
+        self.stats = StatGroup("sms")
+
+    # ------------------------------------------------------------------ #
+    # Region helpers
+    # ------------------------------------------------------------------ #
+    def _region(self, block_address: int) -> int:
+        return block_address // self.region_size
+
+    def _offset(self, block_address: int) -> int:
+        return (block_address % self.region_size) // BLOCK_SIZE
+
+    def _region_blocks(self, region: int) -> list:
+        base = region * self.region_size
+        return [base + i * BLOCK_SIZE for i in range(self.blocks_per_region)]
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+    def on_access(self, request: LLCRequest, hit: bool) -> AgentActions:
+        """Track load footprints of active regions; trigger predictions on new ones."""
+        actions = AgentActions()
+        if request.is_store:
+            return actions
+
+        region = self._region(request.block_address)
+        offset = self._offset(request.block_address)
+        generation = self.agt.lookup(region)
+        if generation is not None:
+            generation.pattern |= 1 << offset
+            return actions
+
+        # First (trigger) access of a new generation: consult the PHT and
+        # start tracking the footprint.
+        prediction = self.pht.lookup((request.pc, offset))
+        if prediction is not None:
+            self.stats.inc("pht_hits")
+            for index in range(self.blocks_per_region):
+                if index == offset or not (prediction >> index) & 1:
+                    continue
+                actions.fetch_blocks.append(region * self.region_size + index * BLOCK_SIZE)
+            self.stats.inc("prefetches_issued", len(actions.fetch_blocks))
+        else:
+            self.stats.inc("pht_misses")
+
+        victim = self.agt.insert(
+            region, _Generation(trigger_pc=request.pc, trigger_offset=offset,
+                                pattern=1 << offset)
+        )
+        if victim is not None:
+            self._end_generation(victim[1])
+        return actions
+
+    def on_eviction(self, victim: EvictedLine) -> AgentActions:
+        """The first eviction of a block of an active region ends its generation."""
+        region = self._region(victim.block_address)
+        generation = self.agt.remove(region)
+        if generation is not None:
+            self._end_generation(generation)
+        return AgentActions()
+
+    def _end_generation(self, generation: _Generation) -> None:
+        """Commit a finished generation's footprint into the pattern history."""
+        if bin(generation.pattern).count("1") > 1:
+            self.pht.insert((generation.trigger_pc, generation.trigger_offset),
+                            generation.pattern)
+            self.stats.inc("generations_trained")
+        else:
+            self.stats.inc("generations_single_block")
+
+    # ------------------------------------------------------------------ #
+    # Overheads
+    # ------------------------------------------------------------------ #
+    def storage_bits(self) -> int:
+        """Approximate storage: PHT footprints dominate (the paper cites ~60KB/core
+        for the original per-core design; sharing it at the LLC divides that cost)."""
+        pht_bits = self.pht.entries * (32 + self.blocks_per_region)
+        agt_bits = self.agt.entries * (32 + 4 + self.blocks_per_region)
+        return pht_bits + agt_bits
+
+
+def footprint_to_blocks(region: int, pattern: int,
+                        region_size: int = REGION_SIZE) -> list:
+    """Expand a footprint bit-vector into the block addresses it covers."""
+    blocks_per_region = region_size // BLOCK_SIZE
+    base = region * region_size
+    return [
+        base + index * BLOCK_SIZE
+        for index in range(blocks_per_region)
+        if (pattern >> index) & 1
+    ]
+
+
+def pattern_from_offsets(offsets, blocks_per_region: int = BLOCKS_PER_REGION) -> int:
+    """Build a footprint bit-vector from a list of block offsets (test helper)."""
+    pattern = 0
+    for offset in offsets:
+        if not 0 <= offset < blocks_per_region:
+            raise ValueError(f"offset {offset} outside region")
+        pattern |= 1 << offset
+    return pattern
+
+
+def region_of(address: int) -> int:
+    """Region number of a byte address at the default 1KB region size."""
+    return region_address(address)
+
+
+def offset_of(address: int) -> int:
+    """Block offset of a byte address inside its default-size region."""
+    return block_index_in_region(address)

@@ -1,0 +1,112 @@
+"""Convenience entry points for running experiments.
+
+The runner hides the boilerplate every experiment shares: build the workload
+trace (once per workload, reused across system configurations so every system
+sees the identical reference stream), instantiate the configured system, run
+the trace and hand back the :class:`SimulationResult`.
+
+A small in-process trace cache keeps the benchmark harness fast: Figures 2, 9,
+10 and 13 each run the same six traces through several configurations, and
+regenerating a trace costs more than simulating it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.common.request import Access
+from repro.sim.config import SystemConfig, named_configs
+from repro.sim.results import SimulationResult
+from repro.sim.system import ServerSystem
+from repro.workloads.catalog import get_workload
+from repro.workloads.generator import generate_trace
+from repro.workloads.spec import WorkloadSpec
+
+#: Default trace length used by the benchmark harness; large enough for the
+#: 4MB LLC and the predictors to warm up and reach steady state, small enough
+#: for a pure-Python simulator to run every figure in minutes.
+DEFAULT_TRACE_LENGTH = 240_000
+#: Fraction of the trace used only to warm caches, predictors and row buffers
+#: before measurement starts (the paper uses warmed checkpoints similarly).
+DEFAULT_WARMUP_FRACTION = 0.5
+DEFAULT_NUM_CORES = 16
+DEFAULT_SEED = 42
+
+_TRACE_CACHE: Dict[tuple, List[Access]] = {}
+
+
+def build_trace(workload: Union[str, WorkloadSpec], num_accesses: int = DEFAULT_TRACE_LENGTH,
+                num_cores: int = DEFAULT_NUM_CORES, seed: int = DEFAULT_SEED,
+                use_cache: bool = True) -> List[Access]:
+    """Build (or fetch from the cache) the trace for a workload."""
+    spec = get_workload(workload) if isinstance(workload, str) else workload
+    key = (spec.name, num_accesses, num_cores, seed)
+    if use_cache and key in _TRACE_CACHE:
+        return _TRACE_CACHE[key]
+    trace = generate_trace(spec, num_accesses, num_cores=num_cores, seed=seed)
+    if use_cache:
+        _TRACE_CACHE[key] = trace
+    return trace
+
+
+def clear_trace_cache() -> None:
+    """Drop all cached traces (used by tests that tune generator parameters)."""
+    _TRACE_CACHE.clear()
+
+
+def run_trace(trace: Iterable[Access], config: SystemConfig,
+              workload_name: str = "workload",
+              warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+              extra_agents: Optional[Iterable] = None) -> SimulationResult:
+    """Run an explicit trace through one system configuration.
+
+    ``extra_agents`` are additional :class:`repro.cache.agent.LLCAgent`
+    instances attached to the LLC for this run only -- typically passive
+    observers such as :class:`repro.trace.capture.LLCTraceRecorder` or the
+    region-density profiler.
+    """
+    system = ServerSystem(config, workload_name=workload_name)
+    if extra_agents is not None:
+        system.agents.extend(extra_agents)
+    trace = list(trace)
+    warmup = int(len(trace) * warmup_fraction) if warmup_fraction > 0 else 0
+    return system.run(trace, warmup_accesses=warmup)
+
+
+def run_workload(workload: Union[str, WorkloadSpec], config: SystemConfig,
+                 num_accesses: int = DEFAULT_TRACE_LENGTH,
+                 num_cores: int = DEFAULT_NUM_CORES,
+                 seed: int = DEFAULT_SEED,
+                 warmup_fraction: float = DEFAULT_WARMUP_FRACTION) -> SimulationResult:
+    """Run one workload through one system configuration."""
+    spec = get_workload(workload) if isinstance(workload, str) else workload
+    trace = build_trace(spec, num_accesses, num_cores, seed)
+    return run_trace(trace, config, workload_name=spec.name,
+                     warmup_fraction=warmup_fraction)
+
+
+def run_configs(workload: Union[str, WorkloadSpec], configs: Iterable[SystemConfig],
+                num_accesses: int = DEFAULT_TRACE_LENGTH,
+                num_cores: int = DEFAULT_NUM_CORES,
+                seed: int = DEFAULT_SEED,
+                warmup_fraction: float = DEFAULT_WARMUP_FRACTION) -> Dict[str, SimulationResult]:
+    """Run one workload through several configurations over the identical trace."""
+    spec = get_workload(workload) if isinstance(workload, str) else workload
+    trace = build_trace(spec, num_accesses, num_cores, seed)
+    results: Dict[str, SimulationResult] = {}
+    for config in configs:
+        results[config.name] = run_trace(trace, config, workload_name=spec.name,
+                                         warmup_fraction=warmup_fraction)
+    return results
+
+
+def run_named_configs(workload: Union[str, WorkloadSpec],
+                      config_names: Optional[List[str]] = None,
+                      num_accesses: int = DEFAULT_TRACE_LENGTH,
+                      num_cores: int = DEFAULT_NUM_CORES,
+                      seed: int = DEFAULT_SEED,
+                      warmup_fraction: float = DEFAULT_WARMUP_FRACTION) -> Dict[str, SimulationResult]:
+    """Run one workload through the named paper configurations."""
+    configs = named_configs(config_names)
+    return run_configs(workload, configs.values(), num_accesses, num_cores, seed,
+                       warmup_fraction)

@@ -1,0 +1,404 @@
+"""The full simulated server: cores' L1s, shared LLC, agents, NOC and DRAM.
+
+:class:`ServerSystem` is the trace interpreter.  For every processor access
+it walks the hierarchy the same way hardware would:
+
+1. the access probes the issuing core's L1; hits stop there, dirty L1 victims
+   are forwarded to the LLC;
+2. an L1 miss becomes a demand LLC request (carrying the PC when the
+   configuration requires it); every attached agent (stride, SMS, VWQ, BuMP,
+   Full-region, density profiler) observes the access;
+3. an LLC miss becomes a demand DRAM read and the block is filled; every
+   agent observes the miss and may request additional fetches (prefetches /
+   bulk reads), which are filled into the LLC as *prefetched* blocks;
+4. LLC evictions are observed by the agents (BuMP terminates region tracking
+   here and may stream bulk writebacks); dirty victims become demand DRAM
+   writes; eager/bulk writebacks clean resident dirty blocks and become DRAM
+   writes attributed to the mechanism that generated them;
+5. every DRAM transfer is timestamped with the core-time at which it was
+   generated and handed to the FR-FCFS memory controllers.
+
+At the end of a run the system assembles a :class:`SimulationResult` with the
+traffic decomposition, row-buffer statistics, timing summary and energy
+breakdown the experiments consume.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.cache.agent import AgentActions, LLCAgent
+from repro.cache.l1 import L1DataCache
+from repro.cache.llc import LastLevelCache
+from repro.cache.set_assoc import EvictedLine
+from repro.common.addressing import block_address
+from repro.common.request import (
+    Access,
+    DRAMRequest,
+    DRAMRequestKind,
+    LLCRequest,
+    LLCRequestKind,
+)
+from repro.common.stats import StatGroup
+from repro.core.bump import BuMPPredictor
+from repro.core.fullregion import FullRegionStreamer
+from repro.dram.address_mapping import make_block_interleaving, make_region_interleaving
+from repro.dram.system import MemorySystem
+from repro.energy.accounting import ServerEnergyModel
+from repro.noc.crossbar import Crossbar, MessageType
+from repro.prefetch.sms import SpatialMemoryStreaming
+from repro.prefetch.stride import StridePrefetcher
+from repro.sim.config import SystemConfig
+from repro.sim.results import SimulationResult
+from repro.sim.timing import TimingModel
+from repro.workloads.density import RegionDensityProfiler
+
+
+class ServerSystem:
+    """One configured instance of the simulated 16-core server."""
+
+    def __init__(self, config: SystemConfig, workload_name: str = "workload") -> None:
+        self.config = config
+        self.workload_name = workload_name
+        params = config.system
+
+        self.l1s = [L1DataCache(params.l1d, core) for core in range(params.num_cores)]
+        self.llc = LastLevelCache(params.llc)
+        self.noc = Crossbar(num_cores=params.num_cores)
+
+        if config.interleaving == "block":
+            mapping = make_block_interleaving(params.dram_org,
+                                              params.dram_org.row_buffer_bytes)
+        elif config.interleaving == "region":
+            mapping = make_region_interleaving(params.dram_org,
+                                               params.dram_org.row_buffer_bytes)
+        else:
+            raise ValueError(f"unknown interleaving scheme {config.interleaving!r}")
+        self.memory = MemorySystem(
+            params.dram_timing, params.dram_org, mapping, config.page_policy,
+            window=params.dram_org.transaction_queue_entries,
+            scheduler=config.scheduler,
+        )
+
+        self.agents: List[LLCAgent] = []
+        self.bump: Optional[BuMPPredictor] = None
+        self.profiler: Optional[RegionDensityProfiler] = None
+        self._build_agents()
+
+        self.counters = StatGroup("system")
+        if config.timing_model == "analytic":
+            self.timing = TimingModel(params)
+        elif config.timing_model == "interval":
+            from repro.cpu.interval import IntervalTimingModel
+
+            self.timing = IntervalTimingModel(params)
+        else:
+            raise ValueError(f"unknown timing model {config.timing_model!r}")
+        self.energy_model = ServerEnergyModel(params)
+        self._core_cycle = 0.0
+        self._instructions = 0.0
+        self._bus_ratio = params.core_cycles_per_dram_cycle
+        self._measurement_start_core_cycle = 0.0
+        self._measurement_start_bus_cycle = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def _build_agents(self) -> None:
+        config = self.config
+        if config.use_stride:
+            self.agents.append(StridePrefetcher())
+        if config.use_nextline:
+            from repro.prefetch.nextline import NextLinePrefetcher
+
+            self.agents.append(NextLinePrefetcher())
+        if config.use_stealth:
+            from repro.prefetch.stealth import StealthPrefetcher
+
+            self.agents.append(StealthPrefetcher())
+        if config.use_sms:
+            self.agents.append(SpatialMemoryStreaming())
+        if config.use_vwq:
+            from repro.writeback.vwq import VirtualWriteQueue
+
+            self.agents.append(VirtualWriteQueue())
+        if config.use_eager_writeback:
+            from repro.writeback.eager import EagerWriteback
+
+            self.agents.append(EagerWriteback())
+        if config.use_bump:
+            self.bump = BuMPPredictor(config.bump)
+            self.agents.append(self.bump)
+        if config.use_full_region:
+            self.agents.append(FullRegionStreamer(config.bump))
+        if config.attach_profiler or config.ideal_row_locality:
+            self.profiler = RegionDensityProfiler(config.bump.region_size_bytes)
+            self.agents.append(self.profiler)
+
+    # ------------------------------------------------------------------ #
+    # Trace interpretation
+    # ------------------------------------------------------------------ #
+    def run(self, trace: Iterable[Access], warmup_accesses: int = 0) -> SimulationResult:
+        """Run a trace to completion and return the collected measurements.
+
+        ``warmup_accesses`` accesses are simulated first to warm the caches,
+        the predictor tables and the DRAM row buffers (mirroring the paper's
+        SMARTS-style warmed-checkpoint methodology); their events are then
+        discarded and only the remainder of the trace is measured.
+        """
+        processed = 0
+        for access in trace:
+            if warmup_accesses and processed == warmup_accesses:
+                self.begin_measurement()
+            self._step(access)
+            processed += 1
+        if warmup_accesses and processed <= warmup_accesses:
+            raise ValueError("trace shorter than the requested warmup interval")
+        self.memory.drain()
+        return self._collect_results()
+
+    def begin_measurement(self) -> None:
+        """Discard warmup statistics while keeping all architectural state."""
+        self.memory.drain()
+        self.counters.reset()
+        self.noc.reset()
+        self.llc.stats.reset()
+        self.llc.array_stats.reset()
+        for controller in self.memory.controllers:
+            controller.reset_counters()
+        for agent in self.agents:
+            stats = getattr(agent, "stats", None)
+            if stats is not None:
+                stats.reset()
+        self._instructions = 0.0
+        self._measurement_start_core_cycle = self._core_cycle
+        self._measurement_start_bus_cycle = self._core_cycle / self._bus_ratio
+
+    def _step(self, access: Access) -> None:
+        counters = self.counters
+        counters.inc("accesses")
+        self._instructions += access.instructions
+        self._core_cycle += (
+            access.instructions * self.config.arrival_cpi / self.config.system.num_cores
+        )
+
+        l1 = self.l1s[access.core]
+        result = l1.access(access.address, access.is_store, access.pc)
+        for victim in result.writebacks:
+            self._l1_writeback(victim)
+        if result.hit:
+            counters.inc("l1_hits")
+            return
+
+        self._llc_demand_access(access)
+
+    # ------------------------------------------------------------------ #
+    # LLC demand path
+    # ------------------------------------------------------------------ #
+    def _llc_demand_access(self, access: Access) -> None:
+        config = self.config
+        counters = self.counters
+        block = block_address(access.address)
+
+        self.noc.send(
+            MessageType.REQUEST_WITH_PC if config.carries_pc else MessageType.REQUEST
+        )
+
+        resident = self.llc.probe(block, count_traffic=False)
+        covered = resident is not None and resident.prefetched and not resident.used
+
+        line = self.llc.access(block, is_write=access.is_store)
+        hit = line is not None
+
+        kind = LLCRequestKind.DEMAND_WRITE if access.is_store else LLCRequestKind.DEMAND_READ
+        request = LLCRequest(core=access.core, pc=access.pc, block_address=block,
+                             kind=kind, is_store=access.is_store)
+
+        if self.agents:
+            self.noc.send(MessageType.PREDICTOR_NOTIFY)
+        actions = AgentActions()
+        for agent in self.agents:
+            actions.merge(agent.on_access(request, hit))
+
+        if hit:
+            counters.inc("llc_hits")
+            if not access.is_store:
+                counters.inc("llc_load_hits")
+            if covered:
+                counters.inc("covered_reads")
+                if not access.is_store:
+                    counters.inc("covered_loads")
+            self.noc.send(MessageType.DATA)
+        else:
+            counters.inc("llc_misses")
+            for agent in self.agents:
+                actions.merge(agent.on_miss(request))
+            self._issue_dram(block, DRAMRequestKind.DEMAND_READ, access.core, access.pc)
+            counters.inc("demand_reads")
+            if access.is_store:
+                counters.inc("store_triggered_reads")
+            else:
+                counters.inc("load_triggered_reads")
+                counters.inc("load_demand_misses")
+            victim = self.llc.fill(block, dirty=access.is_store,
+                                   pc=access.pc, core=access.core)
+            self.noc.send(MessageType.DATA)
+            if victim is not None:
+                self._handle_llc_eviction(victim)
+
+        self._apply_actions(actions, access.core, access.pc)
+
+    def _l1_writeback(self, victim) -> None:
+        """Forward a dirty L1 victim to the LLC."""
+        self.counters.inc("l1_writebacks")
+        self.noc.send(MessageType.DATA)
+        evicted = self.llc.write_from_l1(victim.block_address, victim.pc, victim.core)
+        if evicted is not None:
+            self._handle_llc_eviction(evicted)
+
+    # ------------------------------------------------------------------ #
+    # Eviction handling and agent-generated traffic
+    # ------------------------------------------------------------------ #
+    def _handle_llc_eviction(self, victim: EvictedLine) -> None:
+        counters = self.counters
+        counters.inc("llc_evictions")
+
+        actions = AgentActions()
+        for agent in self.agents:
+            actions.merge(agent.on_eviction(victim))
+
+        if victim.dirty:
+            counters.inc("demand_writebacks")
+            self._issue_dram(victim.block_address, DRAMRequestKind.DEMAND_WRITEBACK,
+                             victim.core, victim.pc)
+            self.noc.send(MessageType.DATA)
+        if victim.prefetched and not victim.used:
+            counters.inc("overfetch_evictions")
+
+        self._apply_actions(actions, victim.core, victim.pc)
+
+    def _apply_actions(self, actions: AgentActions, core: int, pc: int) -> None:
+        if actions.empty:
+            return
+        config = self.config
+        counters = self.counters
+
+        if actions.fetch_blocks:
+            bulk = config.uses_bulk_streaming
+            kind = DRAMRequestKind.BULK_READ if bulk else DRAMRequestKind.PREFETCH_READ
+            counter = "bulk_reads" if bulk else "prefetch_reads"
+            for block in actions.fetch_blocks:
+                if block < 0 or self.llc.contains(block):
+                    continue
+                self.noc.send(MessageType.GENERATED_REQUEST)
+                self._issue_dram(block, kind, core, pc)
+                counters.inc(counter)
+                victim = self.llc.fill(block, prefetched=True, pc=pc, core=core)
+                self.noc.send(MessageType.DATA)
+                if victim is not None:
+                    self._handle_llc_eviction(victim)
+
+        if actions.writeback_blocks:
+            bulk = config.uses_bulk_streaming
+            kind = DRAMRequestKind.BULK_WRITEBACK if bulk else DRAMRequestKind.EAGER_WRITEBACK
+            counter = "bulk_writebacks" if bulk else "eager_writebacks"
+            for block in actions.writeback_blocks:
+                if block < 0:
+                    continue
+                self.noc.send(MessageType.GENERATED_REQUEST)
+                if self.llc.clean(block):
+                    self._issue_dram(block, kind, core, pc)
+                    counters.inc(counter)
+                    self.noc.send(MessageType.DATA)
+
+    def _issue_dram(self, block: int, kind: DRAMRequestKind, core: int, pc: int) -> None:
+        arrival_bus_cycles = self._core_cycle / self._bus_ratio
+        request = DRAMRequest(block_address=block, kind=kind, core=core, pc=pc,
+                              arrival_cycle=arrival_bus_cycles)
+        self.memory.enqueue(request)
+
+    # ------------------------------------------------------------------ #
+    # Result assembly
+    # ------------------------------------------------------------------ #
+    def _collect_results(self) -> SimulationResult:
+        config = self.config
+        counters = self.counters
+        dram_stats = self.memory.aggregate_stats()
+        result = SimulationResult(workload=self.workload_name, config_name=config.name)
+        result.counters = counters
+        result.dram = dram_stats
+        result.llc = self._merged_llc_stats()
+        result.noc = self.noc.stats
+        result.predictor = self._predictor_stats()
+        result.instructions = self._instructions
+
+        density_report = self.profiler.report() if self.profiler is not None else None
+        result.density = density_report
+
+        accesses = dram_stats["accesses"]
+        measured_hit_ratio = dram_stats["row_hits"] / accesses if accesses else 0.0
+        if config.ideal_row_locality and density_report is not None:
+            result.row_buffer_hit_ratio = density_report.ideal_row_hit_ratio
+            result.effective_activations = accesses * (1.0 - result.row_buffer_hit_ratio)
+        else:
+            result.row_buffer_hit_ratio = measured_hit_ratio
+            result.effective_activations = dram_stats["activations"]
+
+        dram_elapsed = max(
+            self.memory.elapsed_cycles - self._measurement_start_bus_cycle, 0.0
+        )
+        timing = self.timing.summarize(
+            instructions=self._instructions,
+            load_demand_misses=counters["load_demand_misses"],
+            covered_loads=counters["covered_loads"],
+            llc_load_hits=counters["llc_load_hits"],
+            average_dram_latency_bus_cycles=self.memory.average_demand_read_service,
+            dram_elapsed_bus_cycles=self.memory.bandwidth_bound_cycles,
+        )
+        result.cycles = timing.cycles
+        result.throughput_ipc = timing.throughput_ipc
+        result.elapsed_seconds = timing.elapsed_seconds
+
+        dram_reads = dram_stats["reads"]
+        dram_writes = dram_stats["writes"]
+        useful = result.useful_accesses
+        result.memory_energy = self.energy_model.memory_energy_per_access(
+            activations=result.effective_activations,
+            dram_reads=dram_reads,
+            dram_writes=dram_writes,
+            useful_accesses=useful,
+        )
+
+        elapsed_bus_cycles = max(dram_elapsed, 1.0)
+        channel_utilization = self.memory.channel_utilization(elapsed_bus_cycles)
+        result.energy = self.energy_model.breakdown(
+            instructions=self._instructions,
+            elapsed_seconds=timing.elapsed_seconds,
+            aggregate_ipc=timing.throughput_ipc,
+            activations=result.effective_activations,
+            dram_reads=dram_reads,
+            dram_writes=dram_writes,
+            llc_reads=self.llc.stats["demand_hits"] + self.llc.stats["demand_misses"]
+                       + self.llc.stats["probe_ops"],
+            llc_writes=self.llc.stats["demand_fills"] + self.llc.stats["prefetch_fills"],
+            noc_utilization=self.noc.utilization(timing.cycles),
+            channel_utilization=channel_utilization,
+            useful_accesses=useful,
+        )
+        return result
+
+    def _merged_llc_stats(self) -> StatGroup:
+        merged = StatGroup("llc")
+        merged.merge(self.llc.stats)
+        merged.merge(self.llc.array_stats)
+        return merged
+
+    def _predictor_stats(self) -> StatGroup:
+        merged = StatGroup("predictor")
+        for agent in self.agents:
+            stats = getattr(agent, "stats", None)
+            if stats is not None:
+                merged.merge(stats)
+        if self.bump is not None:
+            merged.set("bump_storage_bits", self.bump.storage_bits())
+        return merged

@@ -1,0 +1,50 @@
+"""Trace tooling.
+
+The workload generators (:mod:`repro.workloads`) produce in-memory streams of
+:class:`repro.common.request.Access` records.  This package provides the
+tooling a trace-driven methodology needs around those streams:
+
+* :mod:`repro.trace.io` -- persist traces to disk (a human-readable CSV text
+  format and a compact NumPy ``.npz`` binary format) and load them back, so
+  expensive generator configurations can be produced once and replayed across
+  system configurations or shared between machines.
+* :mod:`repro.trace.stats` -- characterise a trace without simulating it:
+  footprint, read/write mix, per-PC and per-region histograms, and a static
+  region-density profile comparable to Figure 5.
+* :mod:`repro.trace.filters` -- slice and recombine traces: filter by core,
+  access type or address range, split per core, interleave per-core streams,
+  systematic (SMARTS-style) sampling, and deterministic truncation.
+* :mod:`repro.trace.capture` -- observe a simulation from the inside: an LLC
+  agent that records the post-L1 request/eviction stream so the off-chip
+  behaviour of a run can itself be saved, inspected and replayed.
+"""
+
+from repro.trace.capture import LLCTraceRecorder
+from repro.trace.filters import (
+    filter_by_address_range,
+    filter_by_core,
+    filter_by_type,
+    interleave_round_robin,
+    remap_cores,
+    sample_systematic,
+    split_by_core,
+    truncate,
+)
+from repro.trace.io import load_trace, save_trace
+from repro.trace.stats import TraceStatistics, characterize_trace
+
+__all__ = [
+    "LLCTraceRecorder",
+    "TraceStatistics",
+    "characterize_trace",
+    "filter_by_address_range",
+    "filter_by_core",
+    "filter_by_type",
+    "interleave_round_robin",
+    "load_trace",
+    "remap_cores",
+    "sample_systematic",
+    "save_trace",
+    "split_by_core",
+    "truncate",
+]

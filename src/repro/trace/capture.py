@@ -1,0 +1,133 @@
+"""Capture the post-L1 request stream of a simulation.
+
+:class:`LLCTraceRecorder` is a passive :class:`repro.cache.agent.LLCAgent`: it
+requests no traffic, it only records what it observes.  Attached to a
+:class:`repro.sim.system.ServerSystem` (through the ``extra_agents`` hook of
+the runner or by appending to ``system.agents`` before the run), it produces
+the LLC-level trace -- demand requests with their PCs plus the eviction
+stream -- which is exactly the input BuMP's structures see in hardware.
+
+That makes two workflows possible without re-running the front half of the
+simulator:
+
+* replaying the recorded LLC miss stream directly against a memory-system
+  model when iterating on controller policies;
+* feeding recorded request/eviction streams to a predictor in isolation
+  (the RDTT/BHT/DRT unit tests use hand-built streams; the integration tests
+  use recorded ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.common.request import Access, AccessType, LLCRequest
+from repro.common.stats import StatGroup
+from repro.cache.agent import AgentActions, LLCAgent
+from repro.cache.set_assoc import EvictedLine
+
+
+@dataclass
+class RecordedAccess:
+    """One observed LLC demand request."""
+
+    core: int
+    pc: int
+    block_address: int
+    is_store: bool
+    hit: bool
+
+
+@dataclass
+class RecordedEviction:
+    """One observed LLC eviction."""
+
+    block_address: int
+    dirty: bool
+    prefetched: bool
+    used: bool
+
+
+class LLCTraceRecorder(LLCAgent):
+    """Passive agent that records the LLC access, miss and eviction streams."""
+
+    name = "llc_recorder"
+
+    def __init__(self, capacity: int = 1_000_000) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.accesses: List[RecordedAccess] = []
+        self.misses: List[RecordedAccess] = []
+        self.evictions: List[RecordedEviction] = []
+        self.stats = StatGroup("llc_recorder")
+
+    # ------------------------------------------------------------------ #
+    # Observation
+    # ------------------------------------------------------------------ #
+    def _record(self, target: List, record) -> None:
+        if len(target) < self.capacity:
+            target.append(record)
+        else:
+            self.stats.inc("dropped_records")
+
+    def on_access(self, request: LLCRequest, hit: bool) -> AgentActions:
+        """Record a demand access."""
+        self._record(self.accesses, RecordedAccess(
+            core=request.core, pc=request.pc, block_address=request.block_address,
+            is_store=request.is_store, hit=hit,
+        ))
+        self.stats.inc("accesses_recorded")
+        return AgentActions()
+
+    def on_miss(self, request: LLCRequest) -> AgentActions:
+        """Record a demand miss."""
+        self._record(self.misses, RecordedAccess(
+            core=request.core, pc=request.pc, block_address=request.block_address,
+            is_store=request.is_store, hit=False,
+        ))
+        self.stats.inc("misses_recorded")
+        return AgentActions()
+
+    def on_eviction(self, victim: EvictedLine) -> AgentActions:
+        """Record an eviction."""
+        self._record(self.evictions, RecordedEviction(
+            block_address=victim.block_address, dirty=victim.dirty,
+            prefetched=victim.prefetched, used=victim.used,
+        ))
+        self.stats.inc("evictions_recorded")
+        return AgentActions()
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+    def miss_trace(self) -> List[Access]:
+        """The recorded miss stream as processor-level ``Access`` records.
+
+        Core, PC and block address are preserved; the instruction count is set
+        to 1 because the spacing information lives in the original trace, not
+        at the LLC.  The result can be saved with :func:`repro.trace.io.save_trace`
+        and replayed against a memory-system model.
+        """
+        return [
+            Access(core=record.core, pc=record.pc, address=record.block_address,
+                   type=AccessType.STORE if record.is_store else AccessType.LOAD,
+                   instructions=1)
+            for record in self.misses
+        ]
+
+    @property
+    def llc_miss_ratio(self) -> float:
+        """Fraction of recorded demand accesses that missed."""
+        if not self.accesses:
+            return 0.0
+        misses = sum(1 for record in self.accesses if not record.hit)
+        return misses / len(self.accesses)
+
+    def clear(self) -> None:
+        """Drop everything recorded so far (the capacity budget resets too)."""
+        self.accesses.clear()
+        self.misses.clear()
+        self.evictions.clear()
+        self.stats.reset()

@@ -1,0 +1,121 @@
+"""Trace slicing and recombination.
+
+All functions are pure: they accept an iterable of
+:class:`repro.common.request.Access` records and return a new list, never
+mutating the input.  They compose naturally::
+
+    hot_core = filter_by_core(trace, cores=[3])
+    stores = filter_by_type(hot_core, stores=True, loads=False)
+    sampled = sample_systematic(stores, period=10, unit_length=100)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.common.request import Access
+
+
+def filter_by_core(trace: Iterable[Access], cores: Sequence[int]) -> List[Access]:
+    """Keep only accesses issued by the listed cores."""
+    wanted = set(cores)
+    return [access for access in trace if access.core in wanted]
+
+
+def filter_by_type(trace: Iterable[Access], loads: bool = True,
+                   stores: bool = True) -> List[Access]:
+    """Keep loads, stores or both."""
+    return [
+        access for access in trace
+        if (stores if access.is_store else loads)
+    ]
+
+
+def filter_by_address_range(trace: Iterable[Access], start: int,
+                            end: int) -> List[Access]:
+    """Keep accesses whose byte address falls in ``[start, end)``."""
+    if end <= start:
+        raise ValueError("address range end must be greater than start")
+    return [access for access in trace if start <= access.address < end]
+
+
+def truncate(trace: Iterable[Access], count: int) -> List[Access]:
+    """Keep the first ``count`` accesses."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    result = []
+    for access in trace:
+        if len(result) >= count:
+            break
+        result.append(access)
+    return result
+
+
+def split_by_core(trace: Iterable[Access]) -> Dict[int, List[Access]]:
+    """Separate a merged trace into its per-core streams (order preserved)."""
+    streams: Dict[int, List[Access]] = {}
+    for access in trace:
+        streams.setdefault(access.core, []).append(access)
+    return streams
+
+
+def interleave_round_robin(streams: Sequence[List[Access]]) -> List[Access]:
+    """Merge several streams by round-robin, mirroring the generator's policy.
+
+    Streams of different lengths are handled by skipping exhausted streams,
+    so every input access appears exactly once in the output.
+    """
+    merged: List[Access] = []
+    positions = [0] * len(streams)
+    remaining = sum(len(stream) for stream in streams)
+    index = 0
+    while remaining > 0:
+        stream = streams[index % len(streams)]
+        position = positions[index % len(streams)]
+        if position < len(stream):
+            merged.append(stream[position])
+            positions[index % len(streams)] += 1
+            remaining -= 1
+        index += 1
+    return merged
+
+
+def remap_cores(trace: Iterable[Access], mapping: Optional[Dict[int, int]] = None,
+                num_cores: Optional[int] = None) -> List[Access]:
+    """Reassign core ids, either through an explicit mapping or modulo folding.
+
+    Folding (``num_cores``) is how a 16-core trace is replayed on a smaller
+    simulated machine in the scalability study: core ``c`` becomes
+    ``c % num_cores``.
+    """
+    if (mapping is None) == (num_cores is None):
+        raise ValueError("provide exactly one of mapping or num_cores")
+    result = []
+    for access in trace:
+        if mapping is not None:
+            core = mapping.get(access.core, access.core)
+        else:
+            core = access.core % num_cores
+        result.append(Access(core=core, pc=access.pc, address=access.address,
+                             type=access.type, instructions=access.instructions))
+    return result
+
+
+def sample_systematic(trace: Iterable[Access], period: int,
+                      unit_length: int) -> List[Access]:
+    """SMARTS-style systematic sampling: one unit of ``unit_length`` accesses
+    out of every ``period`` units.
+
+    The measured units are taken at the *start* of each period (the detailed
+    phase); the remainder of the period is skipped (the functional-warming
+    phase in the original methodology).  Sampling a trace this way keeps its
+    phase structure while shrinking simulation time by ``period``x.
+    """
+    if period < 1 or unit_length < 1:
+        raise ValueError("period and unit length must be positive")
+    sampled: List[Access] = []
+    span = period * unit_length
+    for index, access in enumerate(trace):
+        if index % span < unit_length:
+            sampled.append(access)
+    return sampled

@@ -1,0 +1,62 @@
+"""Catalog of the six evaluated workloads.
+
+The paper's evaluation covers Data Serving, Media Streaming, Online
+Analytics, Software Testing, Web Search and Web Serving.  This module maps
+their canonical names to the corresponding :class:`WorkloadSpec` factories so
+experiments can iterate over all of them in the same order the figures use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads import (
+    data_serving,
+    media_streaming,
+    online_analytics,
+    software_testing,
+    web_search,
+    web_serving,
+)
+from repro.workloads.spec import WorkloadSpec
+
+#: Display names used by the paper's figures, keyed by canonical identifier.
+DISPLAY_NAMES = {
+    "data_serving": "Data Serving",
+    "media_streaming": "Media Streaming",
+    "online_analytics": "Online Analytics",
+    "software_testing": "Software Testing",
+    "web_search": "Web Search",
+    "web_serving": "Web Serving",
+}
+
+_FACTORIES = {
+    "data_serving": data_serving.spec,
+    "media_streaming": media_streaming.spec,
+    "online_analytics": online_analytics.spec,
+    "software_testing": software_testing.spec,
+    "web_search": web_search.spec,
+    "web_serving": web_serving.spec,
+}
+
+#: Instantiated specs in the figure order of the paper.
+WORKLOADS: Dict[str, WorkloadSpec] = {name: factory() for name, factory in _FACTORIES.items()}
+
+
+def workload_names() -> List[str]:
+    """Canonical workload identifiers in the paper's figure order."""
+    return list(_FACTORIES.keys())
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Return a fresh spec for ``name`` (raises ``KeyError`` for unknown names)."""
+    key = name.lower().replace(" ", "_").replace("-", "_")
+    if key not in _FACTORIES:
+        known = ", ".join(sorted(_FACTORIES))
+        raise KeyError(f"unknown workload {name!r}; known workloads: {known}")
+    return _FACTORIES[key]()
+
+
+def display_name(name: str) -> str:
+    """Human-readable name used in the paper's figures."""
+    return DISPLAY_NAMES.get(name, name)

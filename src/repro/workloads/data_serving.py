@@ -1,0 +1,54 @@
+"""Data Serving workload (CloudSuite's Cassandra-style NoSQL store).
+
+The paper characterises Data Serving as the most bandwidth-hungry of the six
+workloads, with a large write share and the lowest fraction of high-density
+read traffic (Figure 5): the store serves key lookups through fine-grained
+index traversals (SSTable indexes, bloom filters, memtable skip lists) and
+then reads or writes whole rows, which in a column-family store span one to a
+few kilobytes.  Compaction and memtable flushes add further coarse-grained
+write streams, which is why writes approach the top of the paper's 21-38%
+range and why 62-86% of those writes fall into high-density regions.
+
+Mapping onto the generator:
+
+* rows are coarse objects of 1-4KB, around a third of row operations are
+  writes (inserts/updates that dirty the whole row);
+* lookups are long pointer chases through a large index space with an
+  occasional store (memtable bookkeeping);
+* popularity is mildly skewed (YCSB-style zipfian), keeping some LLC reuse
+  but leaving most row accesses memory-resident;
+* several operations are in flight per server thread, so row accesses are
+  widely separated in the merged stream and the baseline cannot exploit the
+  row-buffer locality they contain.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.spec import WorkloadSpec
+
+
+def spec() -> WorkloadSpec:
+    """Parameter set for the Data Serving workload."""
+    return WorkloadSpec(
+        name="data_serving",
+        description="NoSQL key-value store: row reads/writes through fine-grained indexes",
+        coarse_heap_bytes=768 * 1024 * 1024,
+        fine_space_bytes=512 * 1024 * 1024,
+        coarse_object_count=49152,
+        coarse_object_bytes=(1024, 4096),
+        popularity_skew=0.85,
+        unaligned_fraction=0.35,
+        coarse_job_fraction=0.33,
+        coarse_touch_fraction=0.90,
+        coarse_sequential_fraction=0.25,
+        coarse_pc_noise=0.25,
+        coarse_write_fraction=0.62,
+        fine_chain_hops=(4, 14),
+        fine_store_fraction=0.25,
+        accesses_per_block=1.25,
+        coarse_read_pcs=8,
+        coarse_write_pcs=6,
+        fine_pcs=28,
+        jobs_per_core=10,
+        instructions_per_access=150.0,
+    )

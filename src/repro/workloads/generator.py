@@ -1,0 +1,261 @@
+"""Per-core trace generation.
+
+Each simulated core runs a small pool of concurrent *operations* (jobs) and
+round-robins among them, which is how a server thread interleaves work on
+several requests and how accesses to one coarse object end up separated by
+unrelated accesses -- the behaviour that defeats the memory controller's
+scheduling window in the baseline system (Section II.C of the paper).
+
+Two kinds of jobs exist:
+
+* :class:`CoarseScanJob` -- walks a coarse software object (a database row,
+  an index page, a media buffer) block by block with a single function (PC).
+  Read scans issue loads; write scans issue stores to every touched block.
+  A configurable fraction of blocks is skipped so density is high but not
+  always 100%.
+* :class:`PointerChaseJob` -- performs a chain of dependent accesses to
+  effectively random locations of a huge index structure (hash buckets, tree
+  nodes), touching one block per hop; these produce the low-density accesses
+  of Figure 5.
+
+The multi-core trace is the deterministic round-robin interleaving of the
+per-core streams, which models how requests from many cores mingle at the
+shared LLC and memory controllers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.common.addressing import BLOCK_SIZE, REGION_SIZE
+from repro.common.request import Access, AccessType
+from repro.common.rng import seeded_generator, zipf_weights
+from repro.workloads.spec import WorkloadSpec
+
+#: Base virtual PC values for the three code families; spread far apart so
+#: different families never collide in predictor tables.
+_COARSE_READ_PC_BASE = 0x400000
+_COARSE_WRITE_PC_BASE = 0x500000
+_FINE_PC_BASE = 0x600000
+#: Pool of "cold" PCs used to model scans reached through rarely-executed
+#: code paths (see ``WorkloadSpec.coarse_pc_noise``).
+_COLD_PC_BASE = 0x700000
+_COLD_PC_POOL = 4096
+#: The fine-grained index space starts above the coarse heap.
+_FINE_SPACE_OFFSET_ALIGN = REGION_SIZE
+
+
+class CoarseScanJob:
+    """Scan of one coarse-grained software object."""
+
+    __slots__ = ("blocks", "position", "is_write", "pc", "repeats_left")
+
+    def __init__(self, blocks: List[int], is_write: bool, pc: int) -> None:
+        self.blocks = blocks
+        self.position = 0
+        self.is_write = is_write
+        self.pc = pc
+        self.repeats_left = 0
+
+    @property
+    def done(self) -> bool:
+        """True when every selected block of the object has been visited."""
+        return self.position >= len(self.blocks)
+
+    def next_access(self, core: int, rng: np.random.Generator,
+                    spec: WorkloadSpec) -> Access:
+        """Produce the next access of the scan."""
+        if self.repeats_left > 0:
+            self.repeats_left -= 1
+            block = self.blocks[max(self.position - 1, 0)]
+        else:
+            block = self.blocks[self.position]
+            self.position += 1
+            extra = spec.accesses_per_block - 1.0
+            if extra > 0 and rng.random() < extra:
+                self.repeats_left = 1
+        offset = int(rng.integers(0, BLOCK_SIZE // 8)) * 8
+        access_type = AccessType.STORE if self.is_write else AccessType.LOAD
+        instructions = max(1, int(rng.poisson(spec.instructions_per_access)))
+        return Access(core=core, pc=self.pc, address=block + offset,
+                      type=access_type, instructions=instructions)
+
+
+class PointerChaseJob:
+    """A chain of dependent accesses through a huge index structure."""
+
+    __slots__ = ("hops_left", "pcs", "fine_base", "fine_span")
+
+    def __init__(self, hops: int, pcs: List[int], fine_base: int, fine_span: int) -> None:
+        self.hops_left = hops
+        self.pcs = pcs
+        self.fine_base = fine_base
+        self.fine_span = fine_span
+
+    @property
+    def done(self) -> bool:
+        """True when the chain has been fully traversed."""
+        return self.hops_left <= 0
+
+    def next_access(self, core: int, rng: np.random.Generator,
+                    spec: WorkloadSpec) -> Access:
+        """Produce the next hop of the chase."""
+        self.hops_left -= 1
+        block = self.fine_base + int(rng.integers(0, self.fine_span // BLOCK_SIZE)) * BLOCK_SIZE
+        pc = self.pcs[int(rng.integers(0, len(self.pcs)))]
+        is_store = rng.random() < spec.fine_store_fraction
+        access_type = AccessType.STORE if is_store else AccessType.LOAD
+        offset = int(rng.integers(0, BLOCK_SIZE // 8)) * 8
+        instructions = max(1, int(rng.poisson(spec.instructions_per_access)))
+        return Access(core=core, pc=pc, address=block + offset,
+                      type=access_type, instructions=instructions)
+
+
+class CoreGenerator:
+    """Generates the access stream of one core for one workload."""
+
+    def __init__(self, spec: WorkloadSpec, core: int, seed: int = 42) -> None:
+        self.spec = spec
+        self.core = core
+        self.rng = seeded_generator(seed, f"{spec.seed_stream}/core{core}")
+        self._object_bases = self._allocate_objects()
+        weights = zipf_weights(len(self._object_bases), spec.popularity_skew)
+        #: Cumulative popularity distribution; sampled with searchsorted so a
+        #: job creation costs O(log n) instead of O(n).
+        self._object_cdf = np.cumsum(weights)
+        self._coarse_read_pcs = [_COARSE_READ_PC_BASE + 16 * i
+                                 for i in range(spec.coarse_read_pcs)]
+        self._coarse_write_pcs = [_COARSE_WRITE_PC_BASE + 16 * i
+                                  for i in range(spec.coarse_write_pcs)]
+        self._fine_pcs = [_FINE_PC_BASE + 16 * i for i in range(spec.fine_pcs)]
+        self._fine_base = self._fine_space_base()
+        self._jobs: List[object] = [self._new_job() for _ in range(spec.jobs_per_core)]
+        self._next_job = 0
+
+    # ------------------------------------------------------------------ #
+    # Dataset layout
+    # ------------------------------------------------------------------ #
+    def _allocate_objects(self) -> np.ndarray:
+        """Pick the base address of every coarse object in the pool.
+
+        Objects are spread uniformly through the coarse heap; a configurable
+        fraction starts misaligned with respect to region boundaries.
+        """
+        spec = self.spec
+        max_object = max(spec.coarse_object_bytes)
+        usable = max(spec.coarse_heap_bytes - max_object, REGION_SIZE)
+        bases = self.rng.integers(0, usable // REGION_SIZE,
+                                  size=spec.coarse_object_count) * REGION_SIZE
+        misaligned = self.rng.random(spec.coarse_object_count) < spec.unaligned_fraction
+        shift = (self.rng.integers(1, REGION_SIZE // BLOCK_SIZE,
+                                   size=spec.coarse_object_count) * BLOCK_SIZE)
+        return bases + np.where(misaligned, shift, 0)
+
+    def _fine_space_base(self) -> int:
+        base = self.spec.coarse_heap_bytes
+        remainder = base % _FINE_SPACE_OFFSET_ALIGN
+        if remainder:
+            base += _FINE_SPACE_OFFSET_ALIGN - remainder
+        return base
+
+    # ------------------------------------------------------------------ #
+    # Job management
+    # ------------------------------------------------------------------ #
+    def _new_job(self):
+        spec = self.spec
+        if self.rng.random() < spec.coarse_job_fraction:
+            return self._new_coarse_job()
+        return self._new_fine_job()
+
+    def _new_coarse_job(self) -> CoarseScanJob:
+        spec = self.spec
+        index = int(np.searchsorted(self._object_cdf, self.rng.random()))
+        index = min(index, len(self._object_bases) - 1)
+        base = int(self._object_bases[index])
+        low, high = spec.coarse_object_bytes
+        size = int(self.rng.integers(low // BLOCK_SIZE, high // BLOCK_SIZE + 1)) * BLOCK_SIZE
+        blocks = [base + offset for offset in range(0, size, BLOCK_SIZE)]
+        if spec.coarse_touch_fraction < 1.0:
+            keep = self.rng.random(len(blocks)) < spec.coarse_touch_fraction
+            blocks = [block for block, kept in zip(blocks, keep) if kept]
+            if not blocks:
+                blocks = [base]
+        is_write = self.rng.random() < spec.coarse_write_fraction
+        if self.rng.random() >= spec.coarse_sequential_fraction:
+            # Data-dependent walk: same footprint, shuffled visiting order.
+            order = self.rng.permutation(len(blocks))
+            blocks = [blocks[i] for i in order]
+        if self.rng.random() < spec.coarse_pc_noise:
+            # A cold code path touches this object: the PC is effectively
+            # unique, so PC-indexed predictors cannot anticipate the scan.
+            pc = _COLD_PC_BASE + 16 * int(self.rng.integers(0, _COLD_PC_POOL))
+        else:
+            pcs = self._coarse_write_pcs if is_write else self._coarse_read_pcs
+            pc = pcs[int(self.rng.integers(0, len(pcs)))]
+        return CoarseScanJob(blocks=blocks, is_write=is_write, pc=pc)
+
+    def _new_fine_job(self) -> PointerChaseJob:
+        spec = self.spec
+        low, high = spec.fine_chain_hops
+        hops = int(self.rng.integers(low, high + 1))
+        return PointerChaseJob(hops=hops, pcs=self._fine_pcs,
+                               fine_base=self._fine_base,
+                               fine_span=spec.fine_space_bytes)
+
+    # ------------------------------------------------------------------ #
+    # Access stream
+    # ------------------------------------------------------------------ #
+    def next_access(self) -> Access:
+        """Produce the core's next memory access, replacing finished jobs."""
+        job_index = self._next_job
+        self._next_job = (self._next_job + 1) % len(self._jobs)
+        job = self._jobs[job_index]
+        access = job.next_access(self.core, self.rng, self.spec)
+        if job.done:
+            self._jobs[job_index] = self._new_job()
+        return access
+
+    def stream(self, count: int) -> Iterator[Access]:
+        """Yield ``count`` accesses from this core."""
+        for _ in range(count):
+            yield self.next_access()
+
+
+def generate_trace(spec: WorkloadSpec, num_accesses: int, num_cores: int = 16,
+                   seed: int = 42) -> List[Access]:
+    """Generate a multi-core trace of ``num_accesses`` interleaved accesses.
+
+    The per-core streams are interleaved round-robin, which deterministically
+    models request mingling at the shared LLC: consecutive accesses of one
+    core's operation are separated by roughly ``num_cores * jobs_per_core``
+    unrelated accesses in the merged stream.
+    """
+    if num_accesses < 0:
+        raise ValueError("num_accesses must be non-negative")
+    generators = [CoreGenerator(spec, core, seed=seed) for core in range(num_cores)]
+    trace: List[Access] = []
+    core = 0
+    for _ in range(num_accesses):
+        trace.append(generators[core].next_access())
+        core = (core + 1) % num_cores
+    return trace
+
+
+def iterate_trace(spec: WorkloadSpec, num_accesses: int, num_cores: int = 16,
+                  seed: int = 42) -> Iterator[Access]:
+    """Streaming variant of :func:`generate_trace` (constant memory)."""
+    generators = [CoreGenerator(spec, core, seed=seed) for core in range(num_cores)]
+    core = 0
+    for _ in range(num_accesses):
+        yield generators[core].next_access()
+        core = (core + 1) % num_cores
+
+
+def trace_store_fraction(trace: List[Access]) -> float:
+    """Fraction of accesses in a trace that are stores (characterisation helper)."""
+    if not trace:
+        return 0.0
+    stores = sum(1 for access in trace if access.is_store)
+    return stores / len(trace)

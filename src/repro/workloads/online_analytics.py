@@ -1,0 +1,51 @@
+"""Online Analytics workload (TPC-H query mix on a commercial database).
+
+The paper runs TPC-H queries 1, 6, 13 and 16 on IBM DB2: queries 1 and 6 are
+scan-bound, query 16 is join-bound, and query 13 mixes both.  Scans stream
+through table pages (coarse, dense, read-mostly); joins probe hash tables
+built over the inner relation (fine-grained, effectively random).  The write
+share is the lowest of the six workloads (hash-table build, sort runs and
+aggregation state), and most of it lands in high-density regions because the
+build side writes whole buckets and run buffers.
+
+Mapping onto the generator:
+
+* table pages are coarse objects of 2-8KB, almost always read in full;
+* only a small fraction of coarse operations write (run generation,
+  materialised aggregates);
+* the join/probe component is a substantial fine-grained chase with very few
+  stores;
+* popularity skew is low: scans sweep the table, so there is little temporal
+  reuse for the LLC to capture.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.spec import WorkloadSpec
+
+
+def spec() -> WorkloadSpec:
+    """Parameter set for the Online Analytics workload."""
+    return WorkloadSpec(
+        name="online_analytics",
+        description="TPC-H style mix: table scans plus hash-join probes on a DBMS",
+        coarse_heap_bytes=1024 * 1024 * 1024,
+        fine_space_bytes=512 * 1024 * 1024,
+        coarse_object_count=65536,
+        coarse_object_bytes=(2048, 8192),
+        popularity_skew=0.35,
+        unaligned_fraction=0.25,
+        coarse_job_fraction=0.24,
+        coarse_touch_fraction=0.95,
+        coarse_sequential_fraction=0.45,
+        coarse_pc_noise=0.25,
+        coarse_write_fraction=0.40,
+        fine_chain_hops=(4, 16),
+        fine_store_fraction=0.15,
+        accesses_per_block=1.35,
+        coarse_read_pcs=6,
+        coarse_write_pcs=3,
+        fine_pcs=20,
+        jobs_per_core=10,
+        instructions_per_access=150.0,
+    )

@@ -1,0 +1,133 @@
+"""Parameter set describing one synthetic server workload.
+
+A :class:`WorkloadSpec` captures everything the trace generator needs to
+produce a stream with the memory-system behaviour of one of the paper's six
+workloads.  The parameters fall into four groups:
+
+* **Dataset layout** -- how big the coarse-object heap and the fine-grained
+  index structures are, how large coarse objects are, and how skewed object
+  popularity is (which controls how much temporal reuse the LLC can capture).
+* **Operation mix** -- how often an operation touches a coarse object versus
+  performing a fine-grained pointer chase, what fraction of coarse operations
+  write (fill buffers, update rows) and how often fine-grained operations
+  store.
+* **Code behaviour** -- how many distinct program counters (functions) are
+  used for each kind of operation; code/data correlation is what BuMP's
+  predictor exploits.
+* **Interleaving** -- how many operations each core keeps in flight, which
+  controls how far apart accesses to the same region land in the merged
+  request stream and therefore how much row-buffer locality survives at the
+  memory controller without bulk streaming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+
+@dataclass
+class WorkloadSpec:
+    """Knobs of one synthetic server workload."""
+
+    name: str
+    description: str = ""
+
+    # ------------------------------------------------------------------ #
+    # Dataset layout
+    # ------------------------------------------------------------------ #
+    #: Size of the coarse-object heap in bytes.  Large relative to the 4MB
+    #: LLC so most object accesses are memory-resident, as in the paper.
+    coarse_heap_bytes: int = 512 * 1024 * 1024
+    #: Size of the fine-grained index space (hash tables, trees) in bytes.
+    fine_space_bytes: int = 512 * 1024 * 1024
+    #: Number of distinct coarse objects in the pool.
+    coarse_object_count: int = 65536
+    #: Coarse object size range in bytes (inclusive bounds, block granular).
+    coarse_object_bytes: Tuple[int, int] = (1024, 4096)
+    #: Zipf skew of object popularity; higher values concentrate accesses on
+    #: a hot head and raise LLC hit rates.
+    popularity_skew: float = 0.6
+    #: Fraction of coarse objects whose start is *not* aligned to a region
+    #: boundary; unaligned objects produce the medium-density edge regions
+    #: Figure 5 attributes to misalignment.
+    unaligned_fraction: float = 0.3
+
+    # ------------------------------------------------------------------ #
+    # Operation mix
+    # ------------------------------------------------------------------ #
+    #: Probability that a newly spawned operation is a coarse-object scan
+    #: (the rest are fine-grained pointer chases).
+    coarse_job_fraction: float = 0.35
+    #: Fraction of blocks of a scanned coarse object that are actually
+    #: touched (1.0 touches every block; lower values model partially read
+    #: objects and keep density below 100%).
+    coarse_touch_fraction: float = 0.95
+    #: Fraction of coarse scans that walk their object in strictly ascending
+    #: block order (stride-prefetcher friendly); the remainder touch the same
+    #: blocks in a data-dependent (shuffled) order, which spatial-footprint
+    #: schemes capture but a stride prefetcher cannot.
+    coarse_sequential_fraction: float = 0.35
+    #: Fraction of coarse-object scans that are writes (buffer fills, row
+    #: updates): every touched block is stored to.
+    coarse_write_fraction: float = 0.30
+    #: Number of pointer-chase hops per fine-grained operation.
+    fine_chain_hops: Tuple[int, int] = (3, 12)
+    #: Probability that a fine-grained hop also stores to its block.
+    fine_store_fraction: float = 0.08
+    #: Mean number of same-block accesses per touched block (absorbed by the
+    #: L1; only the first reaches the LLC).
+    accesses_per_block: float = 1.3
+
+    # ------------------------------------------------------------------ #
+    # Code behaviour
+    # ------------------------------------------------------------------ #
+    #: Fraction of coarse scans performed through "cold" code paths -- a PC
+    #: drawn from a large pool that the predictors will rarely see again.
+    #: This models the imperfect code/data correlation of real server
+    #: software and bounds the coverage any PC-indexed predictor can reach.
+    coarse_pc_noise: float = 0.25
+    #: Number of distinct functions (PCs) that scan coarse objects for reading.
+    coarse_read_pcs: int = 6
+    #: Number of distinct functions (PCs) that fill/update coarse objects.
+    coarse_write_pcs: int = 4
+    #: Number of distinct functions (PCs) involved in fine-grained traversal.
+    fine_pcs: int = 24
+
+    # ------------------------------------------------------------------ #
+    # Interleaving and timing
+    # ------------------------------------------------------------------ #
+    #: Concurrent in-flight operations per core; their accesses interleave.
+    jobs_per_core: int = 4
+    #: Mean instructions executed per memory access (drives the timing model).
+    instructions_per_access: float = 6.0
+
+    # Derived / bookkeeping ------------------------------------------------ #
+    seed_stream: str = field(default="", repr=False)
+
+    def __post_init__(self) -> None:
+        low, high = self.coarse_object_bytes
+        if low < 64 or high < low:
+            raise ValueError("coarse object size range is invalid")
+        if not 0.0 <= self.coarse_job_fraction <= 1.0:
+            raise ValueError("coarse_job_fraction must be a probability")
+        if not 0.0 < self.coarse_touch_fraction <= 1.0:
+            raise ValueError("coarse_touch_fraction must be in (0, 1]")
+        if not 0.0 <= self.coarse_write_fraction <= 1.0:
+            raise ValueError("coarse_write_fraction must be a probability")
+        if not 0.0 <= self.fine_store_fraction <= 1.0:
+            raise ValueError("fine_store_fraction must be a probability")
+        if self.jobs_per_core < 1:
+            raise ValueError("each core needs at least one in-flight operation")
+        if not self.seed_stream:
+            self.seed_stream = self.name
+
+    def with_overrides(self, **overrides) -> "WorkloadSpec":
+        """Return a copy of the spec with selected fields replaced."""
+        return replace(self, **overrides)
+
+    @property
+    def mean_coarse_object_blocks(self) -> float:
+        """Average number of 64-byte blocks in a coarse object."""
+        low, high = self.coarse_object_bytes
+        return (low + high) / 2.0 / 64.0

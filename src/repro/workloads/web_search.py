@@ -1,0 +1,52 @@
+"""Web Search workload (CloudSuite's Nutch/Lucene index serving node).
+
+Section III.A of the paper uses Web Search as its running example (Figure 4):
+query terms are looked up in a hash table -- a fine-grained pointer chase
+over a large memory space with low region density -- and each matching term
+points to *index pages* holding the posting list and rank metadata for every
+document containing the term.  Reading an index page touches kilobytes of
+contiguously laid out metadata, which is exactly the high-density behaviour
+BuMP streams in bulk.  Writes are comparatively rare (result buffers,
+accumulator arrays), so Web Search sits at the low end of the write-share
+range.
+
+Mapping onto the generator:
+
+* index pages are coarse objects of 2-8KB, read nearly completely by a small
+  set of scoring functions;
+* term lookups are hash-bucket chases through a large index space;
+* score accumulators give a small coarse write component;
+* term popularity is strongly skewed (hot query terms), giving the LLC a
+  little more temporal reuse than the analytics workloads.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.spec import WorkloadSpec
+
+
+def spec() -> WorkloadSpec:
+    """Parameter set for the Web Search workload."""
+    return WorkloadSpec(
+        name="web_search",
+        description="Search engine node: hash-table term lookups plus dense index-page scans",
+        coarse_heap_bytes=1024 * 1024 * 1024,
+        fine_space_bytes=512 * 1024 * 1024,
+        coarse_object_count=49152,
+        coarse_object_bytes=(2048, 8192),
+        popularity_skew=0.95,
+        unaligned_fraction=0.25,
+        coarse_job_fraction=0.23,
+        coarse_touch_fraction=0.95,
+        coarse_sequential_fraction=0.35,
+        coarse_pc_noise=0.25,
+        coarse_write_fraction=0.46,
+        fine_chain_hops=(3, 12),
+        fine_store_fraction=0.15,
+        accesses_per_block=1.30,
+        coarse_read_pcs=6,
+        coarse_write_pcs=3,
+        fine_pcs=24,
+        jobs_per_core=10,
+        instructions_per_access=160.0,
+    )

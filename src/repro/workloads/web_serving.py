@@ -1,0 +1,51 @@
+"""Web Serving workload (CloudSuite's frontend: web server + PHP application).
+
+The web-serving frontend assembles pages from an object cache and
+communicates with clients and backends through sockets.  Section III.B of the
+paper calls out exactly these structures as sources of spatially clustered
+stores: web pages and frequently used rows are allocated in software caches,
+and socket/inter-process buffers are filled contiguously.  Reads mix dense
+object-cache hits (coarse) with session lookups, interpreter hash tables and
+string machinery (fine).  The write share is toward the upper half of the
+range and most writes land in high-density regions.
+
+Mapping onto the generator:
+
+* cached objects (rendered fragments, rows, socket buffers) are coarse
+  objects of 1-4KB; a bit over a third of coarse operations fill them
+  (writes);
+* interpreter and session state produce a substantial fine-grained component
+  with a noticeable store fraction;
+* popularity is skewed (hot pages), giving moderate LLC reuse.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.spec import WorkloadSpec
+
+
+def spec() -> WorkloadSpec:
+    """Parameter set for the Web Serving workload."""
+    return WorkloadSpec(
+        name="web_serving",
+        description="Web/PHP frontend: object-cache fills and socket buffers plus interpreter state",
+        coarse_heap_bytes=512 * 1024 * 1024,
+        fine_space_bytes=512 * 1024 * 1024,
+        coarse_object_count=49152,
+        coarse_object_bytes=(1024, 4096),
+        popularity_skew=0.90,
+        unaligned_fraction=0.30,
+        coarse_job_fraction=0.32,
+        coarse_touch_fraction=0.92,
+        coarse_sequential_fraction=0.30,
+        coarse_pc_noise=0.28,
+        coarse_write_fraction=0.58,
+        fine_chain_hops=(3, 12),
+        fine_store_fraction=0.20,
+        accesses_per_block=1.30,
+        coarse_read_pcs=7,
+        coarse_write_pcs=5,
+        fine_pcs=26,
+        jobs_per_core=10,
+        instructions_per_access=150.0,
+    )

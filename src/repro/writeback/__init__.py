@@ -1,0 +1,15 @@
+"""Eager-writeback baselines.
+
+The paper's write-side baseline is the Virtual Write Queue [Stuecheli et al.,
+ISCA 2010], a state-of-the-art eager-writeback mechanism: when the LLC evicts
+a dirty block, the engine probes the LLC for a small number of *adjacent*
+blocks and, if they are dirty, schedules their writebacks together with the
+triggering one so the memory controller can coalesce them into row-buffer
+hits.  :class:`repro.writeback.vwq.VirtualWriteQueue` implements that engine
+as an :class:`repro.cache.agent.LLCAgent`.
+"""
+
+from repro.writeback.eager import EagerWriteback
+from repro.writeback.vwq import VirtualWriteQueue
+
+__all__ = ["EagerWriteback", "VirtualWriteQueue"]

@@ -1,0 +1,81 @@
+"""Classic eager writeback (Lee, Tyson & Farrens, MICRO 2000).
+
+The original eager-writeback proposal cleans dirty blocks *before* they reach
+the eviction point so the write traffic is off the critical path and spread
+over idle bus slots.  The hardware tracks dirty lines approaching the LRU
+position; this agent-level model approximates that with a bounded FIFO of
+dirty blocks observed at the LLC: once the FIFO holds more than
+``pending_limit`` candidates, the oldest ones are eagerly written back (the
+system model only issues a DRAM write if the block is still resident and
+dirty, so stale candidates cost nothing).
+
+It differs from VWQ (:mod:`repro.writeback.vwq`) in that it has no notion of
+spatial adjacency -- it cleans *old* dirty blocks, not *neighbouring* ones --
+so it recovers write bandwidth headroom but almost no row-buffer locality.
+The writeback-mechanism ablation benchmark quantifies exactly that gap.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.common.request import LLCRequest
+from repro.common.stats import StatGroup
+from repro.cache.agent import AgentActions, LLCAgent
+from repro.cache.set_assoc import EvictedLine
+
+
+class EagerWriteback(LLCAgent):
+    """Age-based eager writeback of dirty LLC blocks."""
+
+    name = "eager_writeback"
+
+    def __init__(self, pending_limit: int = 512, drain_batch: int = 4) -> None:
+        if pending_limit < 1:
+            raise ValueError("pending limit must be positive")
+        if drain_batch < 1:
+            raise ValueError("drain batch must be positive")
+        self.pending_limit = pending_limit
+        self.drain_batch = drain_batch
+        #: Dirty blocks in the order they became dirty (oldest first).
+        self._dirty: "OrderedDict[int, None]" = OrderedDict()
+        self.stats = StatGroup("eager_writeback")
+
+    # ------------------------------------------------------------------ #
+    # LLC streams
+    # ------------------------------------------------------------------ #
+    def on_access(self, request: LLCRequest, hit: bool) -> AgentActions:
+        """Record stores as new dirty blocks; drain the oldest past the limit."""
+        actions = AgentActions()
+        if request.is_store:
+            block = request.block_address
+            # Re-dirtied blocks move to the young end of the queue.
+            self._dirty.pop(block, None)
+            self._dirty[block] = None
+            self.stats.inc("dirty_blocks_tracked")
+
+        while len(self._dirty) > self.pending_limit and \
+                len(actions.writeback_blocks) < self.drain_batch:
+            oldest, _ = self._dirty.popitem(last=False)
+            actions.writeback_blocks.append(oldest)
+        if actions.writeback_blocks:
+            self.stats.inc("eager_drains")
+            self.stats.inc("blocks_drained", len(actions.writeback_blocks))
+        return actions
+
+    def on_eviction(self, victim: EvictedLine) -> AgentActions:
+        """Forget blocks that left the cache on their own."""
+        self._dirty.pop(victim.block_address, None)
+        return AgentActions()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def tracked_dirty_blocks(self) -> int:
+        """Number of dirty blocks currently queued for eager cleaning."""
+        return len(self._dirty)
+
+    def storage_bits(self) -> int:
+        """One block address per tracked entry."""
+        return self.pending_limit * 42

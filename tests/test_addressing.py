@@ -1,0 +1,79 @@
+"""Unit tests for address arithmetic helpers."""
+
+import pytest
+
+from repro.common.addressing import (
+    BLOCK_SIZE,
+    BLOCKS_PER_REGION,
+    REGION_SIZE,
+    block_address,
+    block_index_in_region,
+    block_offset,
+    blocks_of_region,
+    region_address,
+    region_base,
+    region_offset_bits,
+)
+
+
+def test_block_alignment_masks_low_bits():
+    assert block_address(0) == 0
+    assert block_address(63) == 0
+    assert block_address(64) == 64
+    assert block_address(0x12345) == 0x12340
+
+
+def test_block_offset_complements_alignment():
+    for addr in (0, 1, 63, 64, 100, 0xFFFF):
+        assert block_address(addr) + block_offset(addr) == addr
+
+
+def test_region_constants_match_paper_configuration():
+    assert REGION_SIZE == 1024
+    assert BLOCK_SIZE == 64
+    assert BLOCKS_PER_REGION == 16
+
+
+def test_region_address_is_shift_by_region_bits():
+    assert region_address(0) == 0
+    assert region_address(1023) == 0
+    assert region_address(1024) == 1
+    assert region_address(10 * 1024 + 5) == 10
+
+
+def test_region_base_is_region_aligned():
+    assert region_base(1023) == 0
+    assert region_base(1024) == 1024
+    assert region_base(2049) == 2048
+
+
+def test_block_index_in_region_covers_sixteen_slots():
+    base = 7 * REGION_SIZE
+    indices = [block_index_in_region(base + i * BLOCK_SIZE) for i in range(16)]
+    assert indices == list(range(16))
+
+
+def test_block_index_wraps_at_region_boundary():
+    assert block_index_in_region(REGION_SIZE) == 0
+    assert block_index_in_region(REGION_SIZE + BLOCK_SIZE) == 1
+
+
+def test_region_offset_bits_default_is_four():
+    assert region_offset_bits() == 4
+    assert region_offset_bits(512, 64) == 3
+    assert region_offset_bits(2048, 64) == 5
+
+
+def test_region_offset_bits_rejects_bad_geometry():
+    with pytest.raises(ValueError):
+        region_offset_bits(1000, 64)
+    with pytest.raises(ValueError):
+        region_offset_bits(192, 64)
+
+
+def test_blocks_of_region_enumerates_all_blocks():
+    blocks = blocks_of_region(3)
+    assert len(blocks) == BLOCKS_PER_REGION
+    assert blocks[0] == 3 * REGION_SIZE
+    assert blocks[-1] == 3 * REGION_SIZE + REGION_SIZE - BLOCK_SIZE
+    assert all(b % BLOCK_SIZE == 0 for b in blocks)

@@ -1,0 +1,32 @@
+"""Unit tests for the LLC-agent interface shared by all mechanisms."""
+
+from repro.cache.agent import AgentActions, LLCAgent
+from repro.cache.set_assoc import EvictedLine
+from repro.common.request import LLCRequest, LLCRequestKind
+
+
+def test_default_agent_is_inert():
+    agent = LLCAgent()
+    request = LLCRequest(core=0, pc=0, block_address=0,
+                         kind=LLCRequestKind.DEMAND_READ)
+    victim = EvictedLine(block_address=0, dirty=True, prefetched=False, used=True)
+    assert agent.on_access(request, hit=True).empty
+    assert agent.on_miss(request).empty
+    assert agent.on_fill(0, prefetched=False).empty
+    assert agent.on_eviction(victim).empty
+    assert agent.storage_bits() == 0
+
+
+def test_actions_merge_concatenates_requests():
+    first = AgentActions(fetch_blocks=[64, 128], writeback_blocks=[192])
+    second = AgentActions(fetch_blocks=[256], writeback_blocks=[320, 384])
+    first.merge(second)
+    assert first.fetch_blocks == [64, 128, 256]
+    assert first.writeback_blocks == [192, 320, 384]
+    assert not first.empty
+
+
+def test_actions_empty_flag():
+    assert AgentActions().empty
+    assert not AgentActions(fetch_blocks=[0]).empty
+    assert not AgentActions(writeback_blocks=[0]).empty

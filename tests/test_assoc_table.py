@@ -1,0 +1,92 @@
+"""Unit tests for the set-associative predictor table."""
+
+import pytest
+
+from repro.common.assoc_table import AssociativeTable
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        AssociativeTable(0, 4)
+    with pytest.raises(ValueError):
+        AssociativeTable(10, 4)
+    table = AssociativeTable(16, 4)
+    assert table.num_sets == 4
+
+
+def test_lookup_miss_returns_none():
+    table = AssociativeTable(16, 4)
+    assert table.lookup("missing") is None
+    assert table.hit_ratio == 0.0
+
+
+def test_insert_then_lookup():
+    table = AssociativeTable(16, 4)
+    table.lookup("a")  # miss
+    assert table.insert("a", 1) is None
+    assert table.lookup("a") == 1
+    assert table.hit_ratio == 0.5  # one miss, then one hit
+
+
+def test_insert_existing_key_updates_without_eviction():
+    table = AssociativeTable(4, 4)
+    table.insert("a", 1)
+    victim = table.insert("a", 2)
+    assert victim is None
+    assert table.lookup("a") == 2
+    assert len(table) == 1
+
+
+def test_conflict_eviction_reports_lru_victim():
+    # Fully-associative with 2 entries: the least recently used key leaves.
+    table = AssociativeTable(2, 2)
+    table.insert("a", 1)
+    table.insert("b", 2)
+    table.lookup("a")  # promote "a" to MRU
+    victim = table.insert("c", 3)
+    assert victim == ("b", 2)
+    assert table.contains("a")
+    assert table.contains("c")
+    assert not table.contains("b")
+    assert table.conflict_evictions == 1
+
+
+def test_remove_returns_value_or_none():
+    table = AssociativeTable(8, 2)
+    table.insert("a", 10)
+    assert table.remove("a") == 10
+    assert table.remove("a") is None
+
+
+def test_contains_does_not_touch_statistics():
+    table = AssociativeTable(8, 2)
+    table.insert("a", 1)
+    lookups_before = table.lookups
+    assert table.contains("a")
+    assert not table.contains("b")
+    assert table.lookups == lookups_before
+
+
+def test_capacity_is_bounded_by_entries():
+    table = AssociativeTable(8, 2)
+    for i in range(100):
+        table.insert(i, i)
+    assert len(table) <= 8
+
+
+def test_iteration_yields_resident_pairs():
+    table = AssociativeTable(8, 2)
+    table.insert("x", 1)
+    table.insert("y", 2)
+    items = dict(iter(table))
+    assert items == {"x": 1, "y": 2}
+
+
+def test_lookup_without_touch_preserves_lru_order():
+    table = AssociativeTable(2, 2)
+    table.insert("a", 1)
+    table.insert("b", 2)
+    table.lookup("a", touch=False)
+    victim = table.insert("c", 3)
+    # "a" was not promoted, so it is still the LRU victim.
+    assert victim == ("a", 1)

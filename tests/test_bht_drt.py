@@ -1,0 +1,100 @@
+"""Unit tests for the Bulk History Table and the Dirty Region Table."""
+
+import pytest
+
+from repro.core.bht import BulkHistoryTable
+from repro.core.config import BuMPConfig
+from repro.core.drt import DirtyRegionTable
+
+
+# --------------------------------------------------------------------- #
+# BHT
+# --------------------------------------------------------------------- #
+def test_bht_predicts_only_trained_tuples():
+    bht = BulkHistoryTable()
+    assert bht.predict(0x400, 2) is False
+    bht.train(0x400, 2)
+    assert bht.predict(0x400, 2) is True
+    assert bht.predict(0x400, 3) is False
+    assert bht.predict(0x404, 2) is False
+
+
+def test_bht_offset_is_part_of_the_key():
+    """Section IV.B: the PC is augmented with the region offset to tolerate
+    misaligned software objects."""
+    bht = BulkHistoryTable()
+    bht.train(0x500, 0)
+    bht.train(0x500, 7)
+    assert bht.predict(0x500, 0) and bht.predict(0x500, 7)
+    assert not bht.predict(0x500, 1)
+
+
+def test_bht_training_is_idempotent_and_counted():
+    bht = BulkHistoryTable()
+    bht.train(0x1, 1)
+    bht.train(0x1, 1)
+    entry = bht.entry_for(0x1, 1)
+    assert entry.trainings == 2
+    assert bht.stats["trainings"] == 2
+
+
+def test_bht_hit_ratio_and_trigger_counts():
+    bht = BulkHistoryTable()
+    bht.train(0x2, 0)
+    bht.predict(0x2, 0)
+    bht.predict(0x3, 0)
+    assert bht.hit_ratio == pytest.approx(0.5)
+    assert bht.entry_for(0x2, 0).triggers == 1
+
+
+def test_bht_capacity_bounded():
+    config = BuMPConfig(bht_entries=32, associativity=16)
+    bht = BulkHistoryTable(config)
+    for pc in range(100):
+        bht.train(pc, 0)
+    assert len(bht.table) <= 32
+
+
+def test_bht_storage_close_to_paper_figure():
+    # Section IV.D: 1024 entries cost about 4.5KB.
+    assert BulkHistoryTable().storage_bits() / 8 / 1024 == pytest.approx(4.5, abs=1.0)
+
+
+# --------------------------------------------------------------------- #
+# DRT
+# --------------------------------------------------------------------- #
+def test_drt_probe_consumes_entry():
+    drt = DirtyRegionTable()
+    drt.insert(123)
+    assert drt.contains(123)
+    assert drt.probe_and_invalidate(123) is True
+    assert drt.probe_and_invalidate(123) is False
+    assert not drt.contains(123)
+
+
+def test_drt_miss_probe():
+    drt = DirtyRegionTable()
+    assert drt.probe_and_invalidate(999) is False
+    assert drt.hit_ratio == 0.0
+
+
+def test_drt_invalidate_is_idempotent():
+    drt = DirtyRegionTable()
+    drt.insert(5)
+    drt.invalidate(5)
+    drt.invalidate(5)
+    assert len(drt) == 0
+
+
+def test_drt_capacity_bounded_with_conflicts_counted():
+    config = BuMPConfig(drt_entries=32, associativity=16)
+    drt = DirtyRegionTable(config)
+    for region in range(100):
+        drt.insert(region)
+    assert len(drt) <= 32
+    assert drt.stats["conflict_evictions"] >= 68
+
+
+def test_drt_storage_close_to_paper_figure():
+    # Section IV.D: 1024 entries cost about 4.25KB.
+    assert DirtyRegionTable().storage_bits() / 8 / 1024 == pytest.approx(4.25, abs=1.0)

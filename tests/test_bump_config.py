@@ -1,0 +1,61 @@
+"""Unit tests for the BuMP configuration (Section IV.D parameters)."""
+
+import pytest
+
+from repro.core.config import BuMPConfig
+
+
+def test_default_configuration_matches_paper():
+    config = BuMPConfig()
+    assert config.region_size_bytes == 1024
+    assert config.blocks_per_region == 16
+    assert config.density_threshold_blocks == 8
+    assert config.density_threshold_fraction == pytest.approx(0.5)
+    assert config.offset_bits == 4
+    assert config.trigger_entries == 256
+    assert config.density_entries == 256
+    assert config.bht_entries == 1024
+    assert config.drt_entries == 1024
+    assert config.associativity == 16
+
+
+def test_invalid_configurations_rejected():
+    with pytest.raises(ValueError):
+        BuMPConfig(region_size_bytes=1000)
+    with pytest.raises(ValueError):
+        BuMPConfig(region_size_bytes=64)
+    with pytest.raises(ValueError):
+        BuMPConfig(density_threshold_blocks=0)
+    with pytest.raises(ValueError):
+        BuMPConfig(density_threshold_blocks=17)
+
+
+def test_threshold_fraction_helper():
+    config = BuMPConfig().with_threshold_fraction(0.25)
+    assert config.density_threshold_blocks == 4
+    full = BuMPConfig().with_threshold_fraction(1.0)
+    assert full.density_threshold_blocks == 16
+
+
+def test_region_size_sweep_preserves_threshold_fraction():
+    """Figure 11 sweeps the region size holding the fractional threshold."""
+    base = BuMPConfig(density_threshold_blocks=8)
+    small = base.with_region_size(512)
+    large = base.with_region_size(2048)
+    assert small.blocks_per_region == 8 and small.density_threshold_blocks == 4
+    assert large.blocks_per_region == 32 and large.density_threshold_blocks == 16
+
+
+def test_region_and_offset_mapping():
+    config = BuMPConfig()
+    assert config.region_of(0) == 0
+    assert config.region_of(1024) == 1
+    assert config.offset_of(1024 + 5 * 64) == 5
+    blocks = config.region_blocks(2)
+    assert blocks[0] == 2048 and blocks[-1] == 2048 + 960 and len(blocks) == 16
+
+
+def test_region_blocks_for_512_byte_regions():
+    config = BuMPConfig(region_size_bytes=512, density_threshold_blocks=4)
+    assert len(config.region_blocks(0)) == 8
+    assert config.offset_bits == 3

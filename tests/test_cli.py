@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+def run_cli(capsys, *argv):
+    status = main(list(argv))
+    captured = capsys.readouterr()
+    return status, captured.out
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "no_such_workload"])
+
+    def test_every_experiment_name_is_registered(self):
+        expected = {"figure1", "figure2", "figure3", "figure5", "figure8", "figure9",
+                    "figure10", "figure11", "figure12", "figure13", "table1", "table4"}
+        assert set(EXPERIMENTS) == expected
+
+
+class TestCommands:
+    def test_workloads_lists_all_six(self, capsys):
+        status, out = run_cli(capsys, "workloads")
+        assert status == 0
+        for name in ("data_serving", "media_streaming", "online_analytics",
+                     "software_testing", "web_search", "web_serving"):
+            assert name in out
+
+    def test_characterize_prints_metrics(self, capsys):
+        status, out = run_cli(capsys, "characterize", "web_search",
+                              "--accesses", "4000", "--cores", "4")
+        assert status == 0
+        assert "store_fraction" in out
+        assert "region density" in out
+
+    def test_run_prints_summary(self, capsys):
+        status, out = run_cli(capsys, "run", "web_serving", "--system", "base_open",
+                              "--accesses", "4000", "--warmup", "0.25")
+        assert status == 0
+        assert "row_buffer_hit_ratio" in out
+        assert "base_open" in out
+
+    def test_run_accepts_extended_systems(self, capsys):
+        status, out = run_cli(capsys, "run", "web_serving", "--system", "bump_vwq",
+                              "--accesses", "4000", "--warmup", "0.25")
+        assert status == 0
+        assert "bump_vwq" in out
+
+    def test_run_rejects_unknown_system(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            run_cli(capsys, "run", "web_serving", "--system", "warp_drive",
+                    "--accesses", "2000")
+        assert "warp_drive" in str(err.value)
+
+    def test_compare_prints_one_row_per_system(self, capsys):
+        status, out = run_cli(capsys, "compare", "web_serving",
+                              "--systems", "base_open,bump",
+                              "--accesses", "4000", "--warmup", "0.25")
+        assert status == 0
+        assert "base_open" in out and "bump" in out
+
+    def test_compare_rejects_empty_system_list(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "compare", "web_serving", "--systems", " , ",
+                    "--accesses", "2000")
+
+    def test_experiment_table4(self, capsys):
+        status, out = run_cli(capsys, "experiment", "table4",
+                              "--workloads", "web_serving", "--accesses", "4000")
+        assert status == 0
+        assert "web_serving" in out
+
+    def test_experiment_rejects_unknown_name(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            run_cli(capsys, "experiment", "figure99")
+        assert "figure99" in str(err.value)
+
+    def test_scaling_tables(self, capsys):
+        status, out = run_cli(capsys, "scaling")
+        assert status == 0
+        assert "RDTT" in out and "BHT" in out
+        assert "virtualization" in out.lower()
+
+    def test_trace_generation_round_trips(self, capsys, tmp_path):
+        from repro.trace.io import load_trace
+
+        output = tmp_path / "trace.npz"
+        status, out = run_cli(capsys, "trace", "web_search", "--accesses", "2000",
+                              "--cores", "4", "-o", str(output))
+        assert status == 0
+        assert output.exists()
+        assert len(load_trace(output)) == 2000

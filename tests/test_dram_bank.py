@@ -1,0 +1,108 @@
+"""Unit tests for the DRAM bank timing model."""
+
+import pytest
+
+from repro.common.params import DDR3Timing
+from repro.dram.bank import Bank, RowBufferOutcome
+
+
+def make_bank():
+    return Bank(DDR3Timing())
+
+
+def test_first_access_is_a_row_miss_and_activates():
+    bank = make_bank()
+    outcome, issue, data_ready = bank.access(5, start_cycle=0.0, is_write=False,
+                                             close_after=False)
+    assert outcome is RowBufferOutcome.MISS
+    assert bank.activations == 1
+    assert bank.open_row == 5
+    timing = DDR3Timing()
+    assert issue == pytest.approx(timing.tRCD)
+    assert data_ready == pytest.approx(timing.tRCD + timing.tCAS)
+
+
+def test_second_access_to_same_row_hits():
+    bank = make_bank()
+    bank.access(5, 0.0, is_write=False, close_after=False)
+    outcome, _, _ = bank.access(5, 0.0, is_write=False, close_after=False)
+    assert outcome is RowBufferOutcome.HIT
+    assert bank.activations == 1
+    assert bank.row_hits == 1
+
+
+def test_row_hits_stream_at_burst_cadence():
+    """Back-to-back hits to the open row issue one burst apart.
+
+    This is the property bulk streaming relies on to amortise an activation
+    over sixteen transfers.
+    """
+    bank = make_bank()
+    timing = DDR3Timing()
+    bank.access(1, 0.0, is_write=False, close_after=False)
+    _, first_issue, _ = bank.access(1, 0.0, is_write=False, close_after=False)
+    _, second_issue, _ = bank.access(1, 0.0, is_write=False, close_after=False)
+    assert second_issue - first_issue == pytest.approx(timing.burst_cycles)
+
+
+def test_conflict_pays_precharge_and_activate():
+    bank = make_bank()
+    timing = DDR3Timing()
+    bank.access(1, 0.0, is_write=False, close_after=False)
+    outcome, issue, _ = bank.access(2, 0.0, is_write=False, close_after=False)
+    assert outcome is RowBufferOutcome.CONFLICT
+    assert bank.activations == 2
+    # The conflict cannot be faster than precharge + activate after tRAS.
+    assert issue >= timing.tRAS + timing.tRP + timing.tRCD
+
+
+def test_close_after_leaves_bank_precharged():
+    bank = make_bank()
+    bank.access(3, 0.0, is_write=False, close_after=True)
+    assert bank.open_row is None
+    outcome, _, _ = bank.access(3, 0.0, is_write=False, close_after=False)
+    # After a close-row access the next access is a miss, not a hit.
+    assert outcome is RowBufferOutcome.MISS
+
+
+def test_access_respects_start_cycle():
+    bank = make_bank()
+    _, issue, _ = bank.access(1, start_cycle=1000.0, is_write=False, close_after=False)
+    assert issue >= 1000.0
+
+
+def test_row_hit_ratio_property():
+    bank = make_bank()
+    assert bank.row_hit_ratio == 0.0
+    bank.access(1, 0.0, False, False)
+    bank.access(1, 0.0, False, False)
+    bank.access(2, 0.0, False, False)
+    assert bank.row_hit_ratio == pytest.approx(1.0 / 3.0)
+
+
+def test_activation_spacing_respects_trc():
+    bank = make_bank()
+    timing = DDR3Timing()
+    bank.access(1, 0.0, False, False)
+    _, issue_conflict, _ = bank.access(2, 0.0, False, False)
+    first_activate = 0.0
+    second_activate = issue_conflict - timing.tRCD
+    assert second_activate - first_activate >= timing.tRC
+
+
+def test_hit_latency_smaller_than_miss_latency():
+    """Measured from an idle bank, hit < miss < conflict service latency."""
+    start = 1000.0
+
+    hit_bank = make_bank()
+    hit_bank.access(1, 0.0, False, False)
+    _, _, hit_ready = hit_bank.access(1, start, False, False)
+
+    miss_bank = make_bank()
+    _, _, miss_ready = miss_bank.access(1, start, False, False)
+
+    conflict_bank = make_bank()
+    conflict_bank.access(1, 0.0, False, False)
+    _, _, conflict_ready = conflict_bank.access(2, start, False, False)
+
+    assert hit_ready - start < miss_ready - start < conflict_ready - start

@@ -1,0 +1,274 @@
+"""Unit and property tests for the command-level DRAM model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.params import DDR3Timing
+from repro.dram.commands import (
+    CommandKind,
+    CommandTimingChecker,
+    CommandTrace,
+    DRAMCommand,
+    TimingViolation,
+    expand_access,
+)
+
+TIMING = DDR3Timing()
+
+
+def act(cycle, rank=0, bank=0, row=0):
+    return DRAMCommand(CommandKind.ACTIVATE, cycle, rank, bank, row)
+
+
+def rd(cycle, rank=0, bank=0, row=0):
+    return DRAMCommand(CommandKind.READ, cycle, rank, bank, row)
+
+
+def wr(cycle, rank=0, bank=0, row=0):
+    return DRAMCommand(CommandKind.WRITE, cycle, rank, bank, row)
+
+
+def pre(cycle, rank=0, bank=0, row=0):
+    return DRAMCommand(CommandKind.PRECHARGE, cycle, rank, bank, row)
+
+
+def ref(cycle, rank=0):
+    return DRAMCommand(CommandKind.REFRESH, cycle, rank)
+
+
+class TestActivateConstraints:
+    def test_activate_then_read_at_trcd_is_legal(self):
+        checker = CommandTimingChecker()
+        checker.issue(act(0, row=5))
+        checker.issue(rd(TIMING.tRCD, row=5))
+        assert checker.open_row(0, 0) == 5
+
+    def test_read_before_trcd_is_rejected(self):
+        checker = CommandTimingChecker()
+        checker.issue(act(0, row=5))
+        with pytest.raises(TimingViolation) as err:
+            checker.issue(rd(TIMING.tRCD - 1, row=5))
+        assert err.value.constraint == "tRCD"
+
+    def test_activate_to_open_bank_is_rejected(self):
+        checker = CommandTimingChecker()
+        checker.issue(act(0, row=5))
+        with pytest.raises(TimingViolation):
+            checker.issue(act(100, row=6))
+
+    def test_back_to_back_activates_respect_trc(self):
+        checker = CommandTimingChecker()
+        checker.issue(act(0, row=1))
+        checker.issue(pre(TIMING.tRAS, row=1))
+        # tRP after precharge would allow tRAS + tRP, but tRC dominates only
+        # if larger; DDR3-1600 has tRC = 39 = tRAS(28) + tRP(11) exactly.
+        checker.issue(act(TIMING.tRC, row=2))
+
+    def test_second_activate_before_trc_is_rejected(self):
+        checker = CommandTimingChecker()
+        checker.issue(act(0, row=1))
+        checker.issue(pre(TIMING.tRAS, row=1))
+        with pytest.raises(TimingViolation):
+            checker.issue(act(TIMING.tRC - 2, row=2))
+
+    def test_trrd_between_banks_of_same_rank(self):
+        checker = CommandTimingChecker()
+        checker.issue(act(0, bank=0, row=1))
+        with pytest.raises(TimingViolation) as err:
+            checker.issue(act(TIMING.tRRD - 1, bank=1, row=1))
+        assert err.value.constraint == "tRRD"
+        checker.issue(act(TIMING.tRRD, bank=1, row=1))
+
+    def test_activates_on_different_ranks_are_independent(self):
+        checker = CommandTimingChecker()
+        checker.issue(act(0, rank=0, bank=0, row=1))
+        # Same cycle on a different rank: no tRRD coupling.
+        checker.issue(act(0, rank=1, bank=0, row=1))
+
+    def test_tfaw_limits_four_activates_per_window(self):
+        checker = CommandTimingChecker()
+        for bank in range(4):
+            checker.issue(act(bank * TIMING.tRRD, bank=bank, row=1))
+        fifth_cycle = 4 * TIMING.tRRD
+        if fifth_cycle < TIMING.tFAW:
+            with pytest.raises(TimingViolation) as err:
+                checker.issue(act(fifth_cycle, bank=4, row=1))
+            assert err.value.constraint == "tFAW"
+        checker.issue(act(TIMING.tFAW, bank=4, row=1))
+
+
+class TestColumnAndPrechargeConstraints:
+    def test_read_to_closed_bank_is_rejected(self):
+        checker = CommandTimingChecker()
+        with pytest.raises(TimingViolation):
+            checker.issue(rd(10))
+
+    def test_column_commands_respect_burst_cadence(self):
+        checker = CommandTimingChecker()
+        checker.issue(act(0, row=3))
+        first = TIMING.tRCD
+        checker.issue(rd(first, row=3))
+        with pytest.raises(TimingViolation):
+            checker.issue(rd(first + TIMING.burst_cycles - 1, row=3))
+
+    def test_reads_to_different_ranks_do_not_share_column_gate(self):
+        checker = CommandTimingChecker()
+        checker.issue(act(0, rank=0, row=3))
+        checker.issue(act(0, rank=1, row=3))
+        checker.issue(rd(TIMING.tRCD, rank=0, row=3))
+        checker.issue(rd(TIMING.tRCD, rank=1, row=3))
+
+    def test_precharge_before_tras_is_rejected(self):
+        checker = CommandTimingChecker()
+        checker.issue(act(0, row=3))
+        with pytest.raises(TimingViolation):
+            checker.issue(pre(TIMING.tRAS - 1, row=3))
+
+    def test_read_extends_precharge_constraint_by_trtp(self):
+        checker = CommandTimingChecker()
+        checker.issue(act(0, row=3))
+        read_cycle = TIMING.tRAS  # late read
+        checker.issue(rd(read_cycle, row=3))
+        with pytest.raises(TimingViolation):
+            checker.issue(pre(read_cycle + TIMING.tRTP - 1, row=3))
+        checker.issue(pre(read_cycle + TIMING.tRTP, row=3))
+
+    def test_write_recovery_delays_precharge(self):
+        checker = CommandTimingChecker()
+        checker.issue(act(0, row=3))
+        write_cycle = TIMING.tRCD
+        checker.issue(wr(write_cycle, row=3))
+        write_end = write_cycle + TIMING.tCAS + TIMING.burst_cycles
+        with pytest.raises(TimingViolation):
+            checker.issue(pre(write_end + TIMING.tWR - 1, row=3))
+
+    def test_write_to_read_turnaround_respects_twtr(self):
+        checker = CommandTimingChecker()
+        checker.issue(act(0, bank=0, row=3))
+        checker.issue(act(TIMING.tRRD, bank=1, row=4))
+        write_cycle = TIMING.tRCD + TIMING.tRRD
+        checker.issue(wr(write_cycle, bank=1, row=4))
+        write_end = write_cycle + TIMING.tCAS + TIMING.burst_cycles
+        with pytest.raises(TimingViolation):
+            checker.issue(rd(write_end + TIMING.tWTR - 1, bank=0, row=3))
+        checker.issue(rd(write_end + TIMING.tWTR, bank=0, row=3))
+
+    def test_precharge_to_idle_bank_is_noop(self):
+        checker = CommandTimingChecker()
+        checker.issue(pre(0))
+        assert checker.open_row(0, 0) is None
+
+
+class TestRefreshConstraints:
+    def test_refresh_requires_all_banks_precharged(self):
+        checker = CommandTimingChecker()
+        checker.issue(act(0, row=3))
+        with pytest.raises(TimingViolation):
+            checker.issue(ref(TIMING.tRAS + TIMING.tRP))
+
+    def test_commands_blocked_during_trfc(self):
+        checker = CommandTimingChecker(tRFC=100)
+        checker.issue(ref(0))
+        with pytest.raises(TimingViolation) as err:
+            checker.issue(act(50, row=1))
+        assert err.value.constraint == "tRFC"
+        checker.issue(act(100, row=1))
+
+    def test_refresh_does_not_block_other_rank(self):
+        checker = CommandTimingChecker(tRFC=100)
+        checker.issue(ref(0, rank=0))
+        checker.issue(act(10, rank=1, row=1))
+
+
+class TestCommandTrace:
+    def test_counts_and_column_accesses(self):
+        trace = CommandTrace()
+        trace.extend([act(0, row=1), rd(TIMING.tRCD, row=1),
+                      rd(TIMING.tRCD + TIMING.burst_cycles, row=1)])
+        assert len(trace) == 3
+        assert trace.activations() == 1
+        assert trace.column_accesses() == 2
+
+    def test_mean_activate_interval(self):
+        trace = CommandTrace()
+        trace.append(act(0, bank=0, row=1))
+        trace.append(act(100, bank=0, row=2))
+        trace.append(act(300, bank=0, row=3))
+        assert trace.mean_activate_interval() == pytest.approx(150.0)
+
+    def test_mean_activate_interval_without_repeats_is_zero(self):
+        trace = CommandTrace()
+        trace.append(act(0, bank=0, row=1))
+        trace.append(act(50, bank=1, row=1))
+        assert trace.mean_activate_interval() == 0.0
+
+    def test_validate_accepts_a_legal_trace(self):
+        trace = CommandTrace()
+        trace.extend(expand_access(row=7, rank=0, bank=0, start_cycle=0.0,
+                                   is_write=False, open_row=None))
+        trace.validate()
+
+    def test_validate_rejects_an_illegal_trace(self):
+        trace = CommandTrace()
+        trace.append(act(0, row=1))
+        trace.append(rd(1, row=1))
+        with pytest.raises(TimingViolation):
+            trace.validate()
+
+
+class TestExpandAccess:
+    def test_row_hit_is_single_column_command(self):
+        commands = expand_access(row=3, rank=0, bank=0, start_cycle=10.0,
+                                 is_write=False, open_row=3)
+        assert [c.kind for c in commands] == [CommandKind.READ]
+
+    def test_row_miss_is_activate_plus_column(self):
+        commands = expand_access(row=3, rank=0, bank=0, start_cycle=10.0,
+                                 is_write=True, open_row=None)
+        assert [c.kind for c in commands] == [CommandKind.ACTIVATE, CommandKind.WRITE]
+        assert commands[1].cycle - commands[0].cycle == TIMING.tRCD
+
+    def test_row_conflict_is_precharge_activate_column(self):
+        commands = expand_access(row=3, rank=0, bank=0, start_cycle=10.0,
+                                 is_write=False, open_row=9)
+        assert [c.kind for c in commands] == [
+            CommandKind.PRECHARGE, CommandKind.ACTIVATE, CommandKind.READ
+        ]
+        assert commands[1].cycle - commands[0].cycle == TIMING.tRP
+        assert commands[2].cycle - commands[1].cycle == TIMING.tRCD
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rows=st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=20),
+)
+def test_property_greedy_schedule_over_one_bank_is_always_legal(rows):
+    """A schedule built by spacing each access at the bank's earliest legal
+    cycle must always pass the checker, regardless of the row sequence."""
+    checker = CommandTimingChecker()
+    cycle = 0.0
+    open_row = None
+    last_activate = -1.0e9
+    last_column = -1.0e9
+    for row in rows:
+        if open_row == row:
+            cycle = max(cycle, last_column + TIMING.burst_cycles,
+                        last_activate + TIMING.tRCD)
+            checker.issue(rd(cycle, row=row))
+            last_column = cycle
+        else:
+            if open_row is not None:
+                precharge = max(cycle, last_activate + TIMING.tRAS,
+                                last_column + TIMING.tRTP)
+                checker.issue(pre(precharge, row=open_row))
+                cycle = precharge + TIMING.tRP
+            cycle = max(cycle, last_activate + TIMING.tRC)
+            checker.issue(act(cycle, row=row))
+            last_activate = cycle
+            cycle += TIMING.tRCD
+            checker.issue(rd(cycle, row=row))
+            last_column = cycle
+            open_row = row
+    counts = checker.command_counts()
+    assert counts[CommandKind.READ] == len(rows)

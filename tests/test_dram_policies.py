@@ -1,0 +1,223 @@
+"""Tests for the alternative memory-controller scheduling policies."""
+
+import pytest
+
+from repro.common.params import DDR3Timing, DRAMOrganization
+from repro.common.request import DRAMRequest, DRAMRequestKind
+from repro.dram.address_mapping import DRAMCoordinates, make_region_interleaving
+from repro.dram.controller import MemoryController, PagePolicy
+from repro.dram.policies import (
+    BankRoundRobinQueue,
+    DrainWhenFullWriteQueue,
+    FCFSQueue,
+    make_scheduler,
+    scheduler_names,
+)
+from repro.dram.scheduler import FRFCFSQueue
+
+
+def read_request(block, core=0, cycle=0.0):
+    return DRAMRequest(block_address=block, kind=DRAMRequestKind.DEMAND_READ,
+                       core=core, arrival_cycle=cycle)
+
+
+def write_request(block, core=0, cycle=0.0):
+    return DRAMRequest(block_address=block, kind=DRAMRequestKind.DEMAND_WRITEBACK,
+                       core=core, arrival_cycle=cycle)
+
+
+def coords(row, bank=0, rank=0, channel=0, column=0):
+    return DRAMCoordinates(channel=channel, rank=rank, bank=bank, row=row, column=column)
+
+
+class TestFCFSQueue:
+    def test_serves_in_strict_arrival_order(self):
+        queue = FCFSQueue()
+        queue.push(read_request(0), coords(row=1))
+        queue.push(read_request(64), coords(row=2))
+        queue.push(read_request(128), coords(row=1))
+        open_rows = {(0, 0): 1}
+        order = [queue.pop_next(open_rows)[1].row for _ in range(3)]
+        assert order == [1, 2, 1]
+
+    def test_empty_queue_returns_none(self):
+        assert FCFSQueue().pop_next({}) is None
+
+    def test_rejects_degenerate_window(self):
+        with pytest.raises(ValueError):
+            FCFSQueue(window=0)
+
+    def test_any_pending_for_row_respects_window(self):
+        queue = FCFSQueue(window=1)
+        queue.push(read_request(0), coords(row=1))
+        queue.push(read_request(64), coords(row=9))
+        assert queue.any_pending_for_row(coords(row=1))
+        assert not queue.any_pending_for_row(coords(row=9))
+
+
+class TestBankRoundRobinQueue:
+    def test_rotates_service_across_cores(self):
+        queue = BankRoundRobinQueue()
+        for index in range(3):
+            queue.push(read_request(index * 64, core=0), coords(row=10 + index))
+        queue.push(read_request(1024, core=1), coords(row=50))
+        served_cores = [queue.pop_next({})[0].core for _ in range(4)]
+        # Core 1 must be served before core 0's backlog is exhausted.
+        assert served_cores.index(1) < 3
+
+    def test_prefers_row_hits_within_the_chosen_core(self):
+        queue = BankRoundRobinQueue()
+        queue.push(read_request(0, core=0), coords(row=1))
+        queue.push(read_request(64, core=0), coords(row=7))
+        request, picked = queue.pop_next({(0, 0): 7})
+        assert picked.row == 7
+        assert request.core == 0
+
+    def test_length_tracks_pushes_and_pops(self):
+        queue = BankRoundRobinQueue()
+        queue.push(read_request(0, core=0), coords(row=1))
+        queue.push(read_request(64, core=1), coords(row=2))
+        assert len(queue) == 2
+        queue.pop_next({})
+        assert len(queue) == 1
+        queue.pop_next({})
+        assert len(queue) == 0
+        assert queue.pop_next({}) is None
+
+    def test_any_pending_for_row_scans_all_cores(self):
+        queue = BankRoundRobinQueue()
+        queue.push(read_request(0, core=0), coords(row=1))
+        queue.push(read_request(64, core=5), coords(row=9))
+        assert queue.any_pending_for_row(coords(row=9))
+        assert not queue.any_pending_for_row(coords(row=3))
+
+    def test_no_core_starves(self):
+        queue = BankRoundRobinQueue()
+        for index in range(50):
+            queue.push(read_request(index * 64, core=0), coords(row=index))
+        queue.push(read_request(10_000, core=1), coords(row=999))
+        positions = []
+        for position in range(51):
+            request, _ = queue.pop_next({})
+            if request.core == 1:
+                positions.append(position)
+        # With only two cores the single core-1 request is served within the
+        # first couple of pops.
+        assert positions and positions[0] <= 2
+
+
+class TestDrainWhenFullWriteQueue:
+    def test_reads_bypass_buffered_writes(self):
+        queue = DrainWhenFullWriteQueue(high_watermark=4, low_watermark=1)
+        queue.push(write_request(0), coords(row=1))
+        queue.push(read_request(64), coords(row=2))
+        request, _ = queue.pop_next({})
+        assert request.is_read
+        assert queue.buffered_writes == 1
+
+    def test_drains_writes_past_high_watermark(self):
+        queue = DrainWhenFullWriteQueue(high_watermark=3, low_watermark=1)
+        for index in range(3):
+            queue.push(write_request(index * 64), coords(row=index))
+        queue.push(read_request(4096), coords(row=50))
+        request, _ = queue.pop_next({})
+        assert request.is_write
+        assert queue.draining
+
+    def test_drain_stops_at_low_watermark(self):
+        queue = DrainWhenFullWriteQueue(high_watermark=3, low_watermark=1)
+        for index in range(3):
+            queue.push(write_request(index * 64), coords(row=index))
+        queue.push(read_request(4096), coords(row=50))
+        kinds = []
+        for _ in range(4):
+            request, _ = queue.pop_next({})
+            kinds.append("W" if request.is_write else "R")
+        # Two writes drain (3 -> 1 buffered), then the read goes out, then the
+        # final write.
+        assert kinds == ["W", "W", "R", "W"]
+
+    def test_drain_prefers_open_row_writes(self):
+        queue = DrainWhenFullWriteQueue(high_watermark=2, low_watermark=0)
+        queue.push(write_request(0), coords(row=5))
+        queue.push(write_request(64), coords(row=9))
+        request, picked = queue.pop_next({(0, 0): 9})
+        assert picked.row == 9
+
+    def test_writes_served_when_no_reads_remain(self):
+        queue = DrainWhenFullWriteQueue(high_watermark=10, low_watermark=1)
+        queue.push(write_request(0), coords(row=3))
+        request, _ = queue.pop_next({})
+        assert request.is_write
+        assert queue.pop_next({}) is None
+
+    def test_sorted_drain_groups_same_row_writes(self):
+        queue = DrainWhenFullWriteQueue(high_watermark=4, low_watermark=0)
+        queue.push(write_request(0), coords(row=9, bank=1))
+        queue.push(write_request(64), coords(row=2, bank=0))
+        queue.push(write_request(128), coords(row=2, bank=0))
+        queue.push(write_request(192), coords(row=9, bank=1))
+        rows = [queue.pop_next({})[1].row for _ in range(4)]
+        assert rows == sorted(rows) or rows.count(rows[0]) == 2
+
+    def test_watermark_validation(self):
+        with pytest.raises(ValueError):
+            DrainWhenFullWriteQueue(high_watermark=2, low_watermark=2)
+
+    def test_any_pending_covers_reads_and_writes(self):
+        queue = DrainWhenFullWriteQueue()
+        queue.push(read_request(0), coords(row=1))
+        queue.push(write_request(64), coords(row=7))
+        assert queue.any_pending_for_row(coords(row=1))
+        assert queue.any_pending_for_row(coords(row=7))
+        assert not queue.any_pending_for_row(coords(row=3))
+
+
+class TestSchedulerRegistry:
+    def test_all_registered_names_instantiate(self):
+        for name in scheduler_names():
+            queue = make_scheduler(name, window=16)
+            assert len(queue) == 0
+            assert queue.window == 16 or hasattr(queue, "read_queue")
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(KeyError) as err:
+            make_scheduler("fr_fcfs")
+        assert "frfcfs" in str(err.value)
+
+    def test_frfcfs_factory_matches_paper_scheduler(self):
+        assert isinstance(make_scheduler("frfcfs"), FRFCFSQueue)
+
+
+class TestControllerWithAlternativeSchedulers:
+    def make_controller(self, scheduler):
+        org = DRAMOrganization()
+        mapping = make_region_interleaving(org)
+        return MemoryController(0, DDR3Timing(), org, mapping,
+                                PagePolicy.OPEN, window=16, scheduler=scheduler)
+
+    def run_stream(self, controller, blocks):
+        for index, block in enumerate(blocks):
+            controller.enqueue(DRAMRequest(block_address=block,
+                                           kind=DRAMRequestKind.DEMAND_READ,
+                                           core=index % 4,
+                                           arrival_cycle=float(index)))
+        controller.drain()
+        return controller
+
+    def test_every_scheduler_serves_all_requests(self):
+        blocks = [i * 64 for i in range(64)]
+        for name in scheduler_names():
+            controller = self.run_stream(self.make_controller(name), blocks)
+            assert controller.stats["accesses"] == len(blocks), name
+
+    def test_frfcfs_beats_fcfs_on_interleaved_regions(self):
+        """Round-robin interleaving of two regions defeats FCFS but FR-FCFS
+        reorders within its window and recovers row hits."""
+        region_a = [i * 64 for i in range(16)]
+        region_b = [1024 * 1024 + i * 64 for i in range(16)]
+        blocks = [block for pair in zip(region_a, region_b) for block in pair]
+
+        fcfs = self.run_stream(self.make_controller("fcfs"), blocks)
+        frfcfs = self.run_stream(self.make_controller("frfcfs"), blocks)
+        assert frfcfs.row_hit_ratio >= fcfs.row_hit_ratio

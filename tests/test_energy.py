@@ -1,0 +1,167 @@
+"""Unit tests for the DRAM, chip and server energy models (Table III)."""
+
+import pytest
+
+from repro.common.params import DRAMOrganization, SystemParams
+from repro.energy.accounting import ServerEnergyModel
+from repro.energy.chip_energy import ChipEnergyModel
+from repro.energy.dram_energy import DRAMEnergyModel
+from repro.energy.params import ChipEnergyParams, DRAMEnergyParams
+from repro.energy.structures import BuMPStructureEnergy, SRAMStructureModel
+
+
+# --------------------------------------------------------------------- #
+# DRAM energy
+# --------------------------------------------------------------------- #
+def test_activation_energy_dominates_transfer_energy():
+    params = DRAMEnergyParams()
+    # Table III / Section II.B: a page activation costs roughly 3x a transfer.
+    assert params.activation_energy_nj > 2.0 * params.read_energy_nj
+
+
+def test_dram_energy_scales_linearly_with_commands():
+    model = DRAMEnergyModel()
+    single = model.compute(activations=1, reads=1, writes=1, elapsed_seconds=0.0)
+    double = model.compute(activations=2, reads=2, writes=2, elapsed_seconds=0.0)
+    assert double.activation_nj == pytest.approx(2 * single.activation_nj)
+    assert double.burst_io_nj == pytest.approx(2 * single.burst_io_nj)
+
+
+def test_background_energy_scales_with_time_and_utilisation():
+    model = DRAMEnergyModel()
+    idle = model.compute(0, 0, 0, elapsed_seconds=1.0, utilization=0.0)
+    busy = model.compute(0, 0, 0, elapsed_seconds=1.0, utilization=1.0)
+    assert busy.background_nj > idle.background_nj
+    # 8 ranks at 540 mW for one second = 4.32 J.
+    assert idle.background_nj == pytest.approx(8 * 0.540 * 1e9, rel=1e-6)
+
+
+def test_energy_per_access_amortisation():
+    """Serving 16 blocks from one activation must beat 16 activations."""
+    model = DRAMEnergyModel()
+    bulk = model.energy_per_access_nj(activations=1, reads=16, writes=0,
+                                      useful_accesses=16)
+    scattered = model.energy_per_access_nj(activations=16, reads=16, writes=0,
+                                           useful_accesses=16)
+    assert bulk.total_nj < scattered.total_nj
+    saving = 1 - bulk.total_nj / scattered.total_nj
+    # Section II.B: fetching 16 blocks with a single activation saves up to
+    # ~65% of dynamic memory energy.
+    assert 0.5 < saving < 0.75
+
+
+def test_energy_per_access_counts_overfetch_in_numerator_only():
+    model = DRAMEnergyModel()
+    clean = model.energy_per_access_nj(activations=4, reads=16, writes=0,
+                                       useful_accesses=16)
+    overfetch = model.energy_per_access_nj(activations=4, reads=32, writes=0,
+                                           useful_accesses=16)
+    assert overfetch.total_nj > clean.total_nj
+
+
+def test_energy_per_access_zero_denominator():
+    model = DRAMEnergyModel()
+    parts = model.energy_per_access_nj(10, 10, 10, useful_accesses=0)
+    assert parts.total_nj == 0.0
+
+
+def test_total_ranks_follows_organisation():
+    model = DRAMEnergyModel(org=DRAMOrganization(channels=2, ranks_per_channel=4))
+    assert model.total_ranks == 8
+
+
+# --------------------------------------------------------------------- #
+# Chip energy
+# --------------------------------------------------------------------- #
+def test_core_energy_scales_with_ipc():
+    model = ChipEnergyModel(num_cores=16)
+    slow = model.core_energy_nj(aggregate_ipc=4.0, elapsed_seconds=1e-3)
+    fast = model.core_energy_nj(aggregate_ipc=16.0, elapsed_seconds=1e-3)
+    assert fast > slow
+
+
+def test_llc_energy_has_leakage_floor():
+    model = ChipEnergyModel()
+    idle = model.llc_energy_nj(reads=0, writes=0, elapsed_seconds=1e-3)
+    assert idle == pytest.approx(0.750 * 1e-3 * 1e9)
+
+
+def test_noc_energy_bounded_by_peak():
+    model = ChipEnergyModel()
+    over = model.noc_energy_nj(utilization=5.0, elapsed_seconds=1.0)
+    peak = model.noc_energy_nj(utilization=1.0, elapsed_seconds=1.0)
+    assert over == pytest.approx(peak)
+
+
+def test_memory_controller_energy_scales_with_bandwidth():
+    model = ChipEnergyModel()
+    half = model.memory_controller_energy_nj(6.4, elapsed_seconds=1.0)
+    full = model.memory_controller_energy_nj(12.8, elapsed_seconds=1.0)
+    assert full == pytest.approx(2 * half)
+
+
+# --------------------------------------------------------------------- #
+# Server-level accounting
+# --------------------------------------------------------------------- #
+def make_breakdown(activations=1000, reads=2000, writes=500):
+    model = ServerEnergyModel(SystemParams())
+    return model.breakdown(
+        instructions=1_000_000,
+        elapsed_seconds=1e-3,
+        aggregate_ipc=8.0,
+        activations=activations,
+        dram_reads=reads,
+        dram_writes=writes,
+        llc_reads=5000,
+        llc_writes=2500,
+        noc_utilization=0.05,
+        channel_utilization=0.3,
+        useful_accesses=reads + writes,
+    )
+
+
+def test_breakdown_totals_are_consistent():
+    breakdown = make_breakdown()
+    shares = breakdown.component_shares()
+    assert sum(shares.values()) == pytest.approx(1.0)
+    assert breakdown.total_nj == pytest.approx(
+        breakdown.chip.total_nj + breakdown.dram.total_nj
+    )
+    assert breakdown.energy_per_instruction_nj > 0
+
+
+def test_memory_share_is_significant_for_memory_heavy_runs():
+    """Figure 1: memory should be a first-order energy consumer."""
+    breakdown = make_breakdown(activations=50_000, reads=80_000, writes=30_000)
+    assert breakdown.memory_share > 0.3
+
+
+def test_memory_energy_per_access_matches_dram_model():
+    model = ServerEnergyModel(SystemParams())
+    per_access = model.memory_energy_per_access(activations=10, dram_reads=20,
+                                                dram_writes=5, useful_accesses=25)
+    assert per_access.total_nj > 0
+    assert per_access.activation_nj == pytest.approx(10 * 29.7 / 25)
+
+
+# --------------------------------------------------------------------- #
+# BuMP structure storage / energy
+# --------------------------------------------------------------------- #
+def test_sram_structure_storage_arithmetic():
+    table = SRAMStructureModel(name="bht", entries=1024, tag_bits=32, payload_bits=4)
+    assert table.bits_per_entry == 37
+    assert table.total_bits == 1024 * 37
+    assert table.total_kib == pytest.approx(1024 * 37 / 8 / 1024)
+
+
+def test_bump_structure_power_is_below_50mw():
+    """Section V.F: BuMP's structures stay under ~50 mW of on-chip power."""
+    energy = BuMPStructureEnergy(ChipEnergyParams())
+    # One RDTT access and one BHT/DRT access per LLC access, 10M LLC accesses
+    # over a 10 ms interval is far beyond the evaluated traffic.
+    power = energy.average_power_w(rdtt_accesses=10_000_000,
+                                   bht_drt_accesses=10_000_000,
+                                   elapsed_seconds=10e-3)
+    assert power < 0.05 * 200  # generous sanity bound
+    realistic = energy.average_power_w(1_000_000, 1_000_000, 10e-3)
+    assert realistic < 0.05

@@ -1,0 +1,70 @@
+"""Unit tests for the architectural parameter dataclasses (Table II)."""
+
+import pytest
+
+from repro.common.params import (
+    CacheParams,
+    CoreParams,
+    DDR3Timing,
+    DRAMOrganization,
+    SystemParams,
+)
+
+
+def test_default_system_matches_table_ii():
+    params = SystemParams()
+    assert params.num_cores == 16
+    assert params.l1d.size_bytes == 32 * 1024
+    assert params.l1d.associativity == 2
+    assert params.llc.size_bytes == 4 * 1024 * 1024
+    assert params.llc.associativity == 16
+    assert params.llc.hit_latency_cycles == 8
+    assert params.dram_org.channels == 2
+    assert params.dram_org.ranks_per_channel == 4
+    assert params.dram_org.banks_per_rank == 8
+    assert params.dram_org.row_buffer_bytes == 8192
+
+
+def test_core_cycle_time():
+    core = CoreParams(frequency_ghz=2.5)
+    assert core.cycle_time_ns == pytest.approx(0.4)
+
+
+def test_cache_geometry_derivation():
+    cache = CacheParams(size_bytes=4 * 1024 * 1024, associativity=16, block_size=64)
+    assert cache.num_sets == 4096
+    assert cache.num_blocks == 65536
+    l1 = CacheParams(size_bytes=32 * 1024, associativity=2)
+    assert l1.num_sets == 256
+
+
+def test_cache_geometry_rejects_non_multiple():
+    with pytest.raises(ValueError):
+        CacheParams(size_bytes=1000, associativity=3, block_size=64)
+
+
+def test_ddr3_timing_matches_table_ii():
+    timing = DDR3Timing()
+    assert (timing.tCAS, timing.tRCD, timing.tRP, timing.tRAS) == (11, 11, 11, 28)
+    assert (timing.tRC, timing.tWR, timing.tWTR, timing.tRTP) == (39, 12, 6, 6)
+    assert (timing.tRRD, timing.tFAW) == (5, 24)
+
+
+def test_ddr3_latency_ordering():
+    timing = DDR3Timing()
+    assert timing.row_hit_latency < timing.row_miss_latency < timing.row_conflict_latency
+
+
+def test_dram_organization_bank_count_and_bandwidth():
+    org = DRAMOrganization()
+    assert org.total_banks == 2 * 4 * 8
+    # Two DDR3-1600 channels peak at 25.6 GB/s (Table II).
+    assert org.peak_bandwidth_gbps == pytest.approx(25.6, rel=0.01)
+
+
+def test_scaled_returns_modified_copy():
+    params = SystemParams()
+    smaller = params.scaled(num_cores=4)
+    assert smaller.num_cores == 4
+    assert params.num_cores == 16
+    assert smaller.llc.size_bytes == params.llc.size_bytes

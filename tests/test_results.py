@@ -1,0 +1,72 @@
+"""Unit tests for the SimulationResult metric derivations."""
+
+import pytest
+
+from repro.energy.accounting import MemoryEnergyPerAccess
+from repro.sim.results import SimulationResult
+
+
+def make_result(**counters):
+    result = SimulationResult(workload="unit", config_name="test")
+    result.counters.update(counters)
+    return result
+
+
+def test_traffic_decomposition_sums():
+    result = make_result(
+        demand_reads=100, covered_reads=50, prefetch_reads=30, bulk_reads=40,
+        demand_writebacks=20, eager_writebacks=5, bulk_writebacks=15,
+    )
+    assert result.useful_reads == 150
+    assert result.prefetch_reads == 70
+    assert result.total_dram_reads == 170
+    assert result.total_dram_writes == 40
+    assert result.total_dram_accesses == 210
+    assert result.useful_accesses == 190
+
+
+def test_coverage_and_overfetch_ratios():
+    result = make_result(demand_reads=60, covered_reads=40,
+                         demand_writebacks=10, bulk_writebacks=30)
+    result.llc.set("overfetched_blocks", 25)
+    assert result.read_coverage == pytest.approx(0.4)
+    assert result.read_overfetch == pytest.approx(0.25)
+    assert result.write_coverage == pytest.approx(0.75)
+
+
+def test_ratios_are_zero_without_traffic():
+    result = make_result()
+    assert result.read_coverage == 0.0
+    assert result.read_overfetch == 0.0
+    assert result.write_coverage == 0.0
+    assert result.write_traffic_share == 0.0
+    assert result.memory_energy_per_access_nj == 0.0
+
+
+def test_write_traffic_share():
+    result = make_result(demand_reads=70, demand_writebacks=30)
+    assert result.write_traffic_share == pytest.approx(0.3)
+
+
+def test_read_breakdown_by_trigger_type():
+    result = make_result(load_triggered_reads=80, store_triggered_reads=20)
+    assert result.load_triggered_reads == 80
+    assert result.store_triggered_reads == 20
+
+
+def test_memory_energy_exposed_through_property():
+    result = make_result(demand_reads=10)
+    result.memory_energy = MemoryEnergyPerAccess(activation_nj=10.0, burst_io_nj=5.0)
+    assert result.memory_energy_per_access_nj == pytest.approx(15.0)
+
+
+def test_summary_contains_headline_metrics():
+    result = make_result(demand_reads=10, covered_reads=10, demand_writebacks=5)
+    result.row_buffer_hit_ratio = 0.5
+    result.throughput_ipc = 12.0
+    summary = result.summary()
+    assert summary["row_buffer_hit_ratio"] == 0.5
+    assert summary["read_coverage"] == pytest.approx(0.5)
+    assert summary["throughput_ipc"] == 12.0
+    # DRAM accesses exclude covered reads (those were satisfied on chip).
+    assert summary["total_dram_accesses"] == 15

@@ -1,0 +1,67 @@
+"""Unit tests for the experiment runner (trace cache, config sweeps)."""
+
+import pytest
+
+from repro.common.params import CacheParams, SystemParams
+from repro.sim.config import base_open, named_configs
+from repro.sim.runner import (
+    build_trace,
+    clear_trace_cache,
+    run_configs,
+    run_named_configs,
+    run_workload,
+)
+from repro.workloads.catalog import get_workload
+
+SMALL = SystemParams().scaled(
+    llc=CacheParams(size_bytes=256 * 1024, associativity=16, hit_latency_cycles=8)
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_cache():
+    clear_trace_cache()
+    yield
+    clear_trace_cache()
+
+
+def test_build_trace_caches_identical_requests():
+    first = build_trace("web_search", 2000, num_cores=4, seed=1)
+    second = build_trace("web_search", 2000, num_cores=4, seed=1)
+    assert first is second
+    third = build_trace("web_search", 2000, num_cores=4, seed=2)
+    assert third is not first
+
+
+def test_build_trace_can_bypass_cache():
+    first = build_trace("web_search", 1000, num_cores=2, seed=1, use_cache=False)
+    second = build_trace("web_search", 1000, num_cores=2, seed=1, use_cache=False)
+    assert first is not second
+    assert [a.address for a in first] == [a.address for a in second]
+
+
+def test_run_workload_accepts_spec_and_name():
+    config = base_open().with_overrides(system=SMALL)
+    by_name = run_workload("web_search", config, num_accesses=4000,
+                           warmup_fraction=0.25)
+    by_spec = run_workload(get_workload("web_search"), config, num_accesses=4000,
+                           warmup_fraction=0.25)
+    assert by_name.workload == by_spec.workload == "web_search"
+    assert by_name.total_dram_accesses == by_spec.total_dram_accesses
+
+
+def test_run_configs_shares_one_trace_across_systems():
+    configs = [cfg.with_overrides(system=SMALL)
+               for cfg in named_configs(["base_open", "bump"]).values()]
+    results = run_configs("media_streaming", configs, num_accesses=5000,
+                          warmup_fraction=0.2)
+    assert set(results) == {"base_open", "bump"}
+    # Identical demand-side work: the number of processor accesses observed
+    # by both systems must match exactly.
+    assert (results["base_open"].counters["accesses"]
+            == results["bump"].counters["accesses"])
+
+
+def test_run_named_configs_rejects_unknown_names():
+    with pytest.raises(KeyError):
+        run_named_configs("web_search", ["warp_drive"], num_accesses=1000)

@@ -1,0 +1,143 @@
+"""Unit tests for the generic set-associative cache model."""
+
+import pytest
+
+from repro.cache.replacement import LRUPolicy, RandomPolicy, make_policy
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.common.params import CacheParams
+
+
+def small_cache(size=4 * 1024, assoc=4):
+    return SetAssociativeCache(CacheParams(size_bytes=size, associativity=assoc))
+
+
+def test_miss_then_fill_then_hit():
+    cache = small_cache()
+    assert cache.access(0x1000) is None
+    assert cache.fill(0x1000) is None
+    line = cache.access(0x1000)
+    assert line is not None
+    assert not line.dirty
+
+
+def test_write_access_sets_dirty():
+    cache = small_cache()
+    cache.fill(0x40)
+    cache.access(0x40, is_write=True)
+    assert cache.lookup(0x40).dirty
+
+
+def test_fill_dirty_flag_persists():
+    cache = small_cache()
+    cache.fill(0x80, dirty=True)
+    assert cache.lookup(0x80).dirty
+
+
+def test_refill_merges_dirty_and_does_not_evict():
+    cache = small_cache()
+    cache.fill(0x80, dirty=True)
+    victim = cache.fill(0x80, dirty=False)
+    assert victim is None
+    assert cache.lookup(0x80).dirty
+
+
+def test_eviction_of_lru_line_within_set():
+    # 4-way cache: the fifth block mapping to the same set evicts the LRU one.
+    cache = small_cache()
+    set_stride = cache.num_sets * 64
+    blocks = [i * set_stride for i in range(5)]
+    for block in blocks[:4]:
+        cache.fill(block)
+    cache.access(blocks[0])  # promote block 0
+    victim = cache.fill(blocks[4])
+    assert victim is not None
+    assert victim.block_address == blocks[1]
+    assert cache.contains(blocks[0])
+
+
+def test_dirty_victim_reports_dirty():
+    cache = small_cache()
+    set_stride = cache.num_sets * 64
+    for i in range(4):
+        cache.fill(i * set_stride, dirty=(i == 0))
+    victim = cache.fill(4 * set_stride)
+    assert victim.dirty
+    assert cache.stats["dirty_evictions"] == 1
+
+
+def test_prefetched_line_becomes_used_on_access():
+    cache = small_cache()
+    cache.fill(0x100, prefetched=True)
+    line = cache.lookup(0x100)
+    assert line.prefetched and not line.used
+    cache.access(0x100)
+    assert cache.lookup(0x100).used
+    assert cache.stats["prefetch_hits"] == 1
+
+
+def test_unused_prefetch_eviction_is_counted():
+    cache = small_cache()
+    set_stride = cache.num_sets * 64
+    cache.fill(0, prefetched=True)
+    for i in range(1, 5):
+        cache.fill(i * set_stride)
+    assert cache.stats["unused_prefetch_evictions"] == 1
+
+
+def test_invalidate_removes_line():
+    cache = small_cache()
+    cache.fill(0x200)
+    assert cache.invalidate(0x200) is not None
+    assert not cache.contains(0x200)
+    assert cache.invalidate(0x200) is None
+
+
+def test_clean_clears_dirty_only_when_dirty():
+    cache = small_cache()
+    cache.fill(0x300, dirty=True)
+    assert cache.clean(0x300) is True
+    assert cache.clean(0x300) is False
+    assert not cache.lookup(0x300).dirty
+
+
+def test_resident_blocks_in_region():
+    cache = small_cache()
+    cache.fill(1024)
+    cache.fill(1024 + 128, dirty=True)
+    lines = cache.resident_blocks_in_region(1024, 1024)
+    assert {line.block_address for line in lines} == {1024, 1024 + 128}
+
+
+def test_resident_count_and_hit_ratio():
+    cache = small_cache()
+    assert cache.resident_count() == 0
+    cache.fill(0)
+    cache.access(0)
+    cache.access(64)
+    assert cache.resident_count() == 1
+    assert cache.hit_ratio == pytest.approx(0.5)
+
+
+def test_capacity_never_exceeded():
+    cache = small_cache(size=1024, assoc=2)
+    for i in range(200):
+        cache.fill(i * 64)
+    assert cache.resident_count() <= cache.params.num_blocks
+
+
+def test_replacement_policy_factory():
+    assert isinstance(make_policy("lru"), LRUPolicy)
+    assert isinstance(make_policy("random", seed=3), RandomPolicy)
+    with pytest.raises(ValueError):
+        make_policy("plru")
+
+
+def test_random_policy_only_evicts_resident_tags():
+    cache = SetAssociativeCache(
+        CacheParams(size_bytes=1024, associativity=2), policy=RandomPolicy(seed=7)
+    )
+    for i in range(50):
+        victim = cache.fill(i * 64 * cache.num_sets)
+        if victim is not None:
+            assert victim.block_address % 64 == 0
+    assert cache.resident_count() <= 2 * cache.num_sets

@@ -1,0 +1,79 @@
+"""Unit tests for the StatGroup counter container."""
+
+from repro.common.stats import StatGroup
+
+
+def test_counters_start_at_zero():
+    stats = StatGroup("test")
+    assert stats["anything"] == 0.0
+    assert stats.get("missing", 5.0) == 5.0
+
+
+def test_inc_accumulates():
+    stats = StatGroup()
+    stats.inc("hits")
+    stats.inc("hits", 2)
+    assert stats["hits"] == 3
+
+
+def test_set_overwrites():
+    stats = StatGroup()
+    stats.inc("x", 10)
+    stats.set("x", 2)
+    assert stats["x"] == 2
+
+
+def test_ratio_handles_zero_denominator():
+    stats = StatGroup()
+    assert stats.ratio("a", "b") == 0.0
+    stats.inc("a", 3)
+    stats.inc("b", 6)
+    assert stats.ratio("a", "b") == 0.5
+
+
+def test_merge_sums_counters():
+    left = StatGroup("left")
+    right = StatGroup("right")
+    left.inc("shared", 1)
+    right.inc("shared", 2)
+    right.inc("only_right", 4)
+    left.merge(right)
+    assert left["shared"] == 3
+    assert left["only_right"] == 4
+    # Merging must not mutate the source.
+    assert right["shared"] == 2
+
+
+def test_update_from_mapping():
+    stats = StatGroup()
+    stats.update({"a": 1.0, "b": 2.0})
+    stats.update({"a": 1.5})
+    assert stats["a"] == 2.5
+    assert stats["b"] == 2.0
+
+
+def test_snapshot_is_a_copy():
+    stats = StatGroup()
+    stats.inc("k", 1)
+    snap = stats.snapshot()
+    snap["k"] = 100
+    assert stats["k"] == 1
+
+
+def test_reset_all_and_selected():
+    stats = StatGroup()
+    stats.inc("a", 1)
+    stats.inc("b", 2)
+    stats.reset(["a"])
+    assert stats["a"] == 0
+    assert stats["b"] == 2
+    stats.reset()
+    assert stats["b"] == 0
+    assert list(stats.keys()) == []
+
+
+def test_contains_reflects_touched_counters():
+    stats = StatGroup()
+    assert "a" not in stats
+    stats.inc("a")
+    assert "a" in stats

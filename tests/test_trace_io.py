@@ -1,0 +1,111 @@
+"""Tests for trace persistence (CSV and NPZ round-trips)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.request import Access, AccessType
+from repro.trace.io import load_trace, save_trace
+from repro.workloads.catalog import get_workload
+from repro.workloads.generator import generate_trace
+
+
+def make_trace():
+    return [
+        Access(core=0, pc=0x400010, address=0x1234_5678, type=AccessType.LOAD,
+               instructions=3),
+        Access(core=5, pc=0x500020, address=0xdead_beef & ~0x7, type=AccessType.STORE,
+               instructions=12),
+        Access(core=15, pc=0x600030, address=0, type=AccessType.LOAD, instructions=1),
+    ]
+
+
+@pytest.mark.parametrize("suffix", [".csv", ".txt", ".npz"])
+def test_round_trip_preserves_every_field(tmp_path, suffix):
+    trace = make_trace()
+    path = save_trace(trace, tmp_path / f"trace{suffix}")
+    loaded = load_trace(path)
+    assert loaded == trace
+
+
+def test_csv_file_is_human_readable(tmp_path):
+    path = save_trace(make_trace(), tmp_path / "trace.csv")
+    text = path.read_text()
+    assert text.startswith("# core,pc,address,type,instructions")
+    assert "0x400010" in text
+    assert ",S," in text and ",L," in text
+
+
+def test_unknown_extension_is_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        save_trace(make_trace(), tmp_path / "trace.parquet")
+    with pytest.raises(ValueError):
+        path = tmp_path / "trace.bin"
+        path.write_text("junk")
+        load_trace(path)
+
+
+def test_missing_file_raises_file_not_found(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_trace(tmp_path / "absent.csv")
+
+
+def test_malformed_csv_row_is_rejected(tmp_path):
+    path = tmp_path / "broken.csv"
+    path.write_text("# core,pc,address,type,instructions\n1,0x10,0x40,L\n")
+    with pytest.raises(ValueError):
+        load_trace(path)
+
+
+def test_unknown_access_type_is_rejected(tmp_path):
+    path = tmp_path / "broken.csv"
+    path.write_text("# header\n1,0x10,0x40,X,2\n")
+    with pytest.raises(ValueError):
+        load_trace(path)
+
+
+def test_npz_with_missing_arrays_is_rejected(tmp_path):
+    import numpy as np
+
+    path = tmp_path / "broken.npz"
+    np.savez(path, core=np.array([1]))
+    with pytest.raises(ValueError):
+        load_trace(path)
+
+
+def test_empty_trace_round_trips(tmp_path):
+    for suffix in (".csv", ".npz"):
+        path = save_trace([], tmp_path / f"empty{suffix}")
+        assert load_trace(path) == []
+
+
+def test_generated_workload_trace_round_trips_through_npz(tmp_path):
+    spec = get_workload("web_search")
+    trace = generate_trace(spec, 2_000, num_cores=4, seed=11)
+    loaded = load_trace(save_trace(trace, tmp_path / "ws.npz"))
+    assert loaded == trace
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    records=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=63),
+            st.integers(min_value=0, max_value=2**48 - 1),
+            st.integers(min_value=0, max_value=2**48 - 1),
+            st.booleans(),
+            st.integers(min_value=1, max_value=1000),
+        ),
+        max_size=50,
+    ),
+    suffix=st.sampled_from([".csv", ".npz"]),
+)
+def test_property_round_trip_is_identity(tmp_path_factory, records, suffix):
+    trace = [
+        Access(core=core, pc=pc, address=address,
+               type=AccessType.STORE if store else AccessType.LOAD,
+               instructions=instructions)
+        for core, pc, address, store, instructions in records
+    ]
+    path = tmp_path_factory.mktemp("traces") / f"t{suffix}"
+    assert load_trace(save_trace(trace, path)) == trace
