@@ -11,7 +11,7 @@ Two design decisions of Section IV.D / VI are quantified:
   core-rotating (fair-queuing-style) scheduler under BuMP.
 """
 
-from conftest import run_once
+from conftest import bench_workers, run_once
 
 from repro.analysis.ablations import interleaving_sensitivity, scheduler_policy_study
 from repro.analysis.reporting import format_nested_mapping, print_report
@@ -21,7 +21,8 @@ ABLATION_WORKLOADS = ["data_serving", "web_search", "web_serving"]
 
 def test_interleaving_sensitivity(benchmark, workloads):
     selected = [name for name in workloads if name in ABLATION_WORKLOADS] or workloads
-    table = run_once(benchmark, interleaving_sensitivity, selected)
+    table = run_once(benchmark, interleaving_sensitivity, selected,
+                     workers=bench_workers())
 
     print_report(format_nested_mapping(
         table, value_format="{:.3f}",
@@ -39,7 +40,8 @@ def test_interleaving_sensitivity(benchmark, workloads):
 def test_scheduler_policy_study(benchmark, workloads):
     selected = [name for name in workloads if name in ABLATION_WORKLOADS] or workloads
     table = run_once(benchmark, scheduler_policy_study,
-                     ("fcfs", "frfcfs", "bank_round_robin"), selected)
+                     ("fcfs", "frfcfs", "bank_round_robin"), selected,
+                     workers=bench_workers())
 
     print_report(format_nested_mapping(
         table, value_format="{:.3f}",

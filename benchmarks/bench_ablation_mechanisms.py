@@ -14,7 +14,7 @@ spans the behaviours that differentiate the mechanisms (streaming-heavy
 Media Streaming, pointer-heavy Data Serving, mixed Web Search).
 """
 
-from conftest import run_once
+from conftest import bench_workers, run_once
 
 from repro.analysis.ablations import prefetcher_comparison, writeback_mechanism_study
 from repro.analysis.reporting import format_nested_mapping, print_report
@@ -24,7 +24,8 @@ ABLATION_WORKLOADS = ["data_serving", "media_streaming", "web_search"]
 
 def test_prefetcher_comparison(benchmark, workloads):
     selected = [name for name in workloads if name in ABLATION_WORKLOADS] or workloads
-    table = run_once(benchmark, prefetcher_comparison, selected)
+    table = run_once(benchmark, prefetcher_comparison, selected,
+                     workers=bench_workers())
 
     print_report(format_nested_mapping(
         table, value_format="{:.3f}",
@@ -47,7 +48,8 @@ def test_prefetcher_comparison(benchmark, workloads):
 
 def test_writeback_mechanism_study(benchmark, workloads):
     selected = [name for name in workloads if name in ABLATION_WORKLOADS] or workloads
-    table = run_once(benchmark, writeback_mechanism_study, selected)
+    table = run_once(benchmark, writeback_mechanism_study, selected,
+                     workers=bench_workers())
 
     print_report(format_nested_mapping(
         table, value_format="{:.3f}",

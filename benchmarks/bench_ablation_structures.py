@@ -8,7 +8,7 @@ checks that BuMP's speedup claim survives replacing the fixed-MLP analytic
 core model with the ROB/MSHR-derived interval model.
 """
 
-from conftest import run_once
+from conftest import bench_workers, run_once
 
 from repro.analysis.ablations import (
     predictor_table_sizing,
@@ -23,7 +23,8 @@ TIMING_WORKLOADS = ["data_serving", "media_streaming", "web_search"]
 
 def test_rdtt_sizing(benchmark, workloads):
     selected = [name for name in workloads if name in SIZING_WORKLOADS] or workloads
-    table = run_once(benchmark, rdtt_sizing, (64, 256, 2048), selected)
+    table = run_once(benchmark, rdtt_sizing, (64, 256, 2048), selected,
+                     workers=bench_workers())
 
     rendered = {f"{entries} entries": row for entries, row in table.items()}
     print_report(format_nested_mapping(
@@ -42,7 +43,8 @@ def test_rdtt_sizing(benchmark, workloads):
 
 def test_predictor_table_sizing(benchmark, workloads):
     selected = [name for name in workloads if name in SIZING_WORKLOADS] or workloads
-    table = run_once(benchmark, predictor_table_sizing, (128, 1024), selected)
+    table = run_once(benchmark, predictor_table_sizing, (128, 1024), selected,
+                     workers=bench_workers())
 
     rendered = {f"{entries} entries": row for entries, row in table.items()}
     print_report(format_nested_mapping(
@@ -62,7 +64,8 @@ def test_predictor_table_sizing(benchmark, workloads):
 
 def test_timing_model_sensitivity(benchmark, workloads):
     selected = [name for name in workloads if name in TIMING_WORKLOADS] or workloads
-    table = run_once(benchmark, timing_model_sensitivity, selected)
+    table = run_once(benchmark, timing_model_sensitivity, selected,
+                     workers=bench_workers())
 
     print_report(format_nested_mapping(
         table, value_format="{:+.3f}",

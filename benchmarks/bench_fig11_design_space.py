@@ -14,7 +14,7 @@ half the default trace length; relative orderings are stable at that size.
 from conftest import run_once
 
 from repro.analysis import paper_data
-from repro.analysis.experiments import DEFAULT_ACCESSES, figure11_design_space
+from repro.analysis.experiments import design_space_accesses, figure11_design_space
 from repro.analysis.reporting import format_table, print_report
 
 REGION_SIZES = (512, 1024, 2048)
@@ -24,7 +24,7 @@ THRESHOLDS = (0.25, 0.5, 0.75, 1.0)
 def test_figure11_design_space(benchmark, workloads):
     sweep = run_once(
         benchmark, figure11_design_space, workloads,
-        REGION_SIZES, THRESHOLDS, max(DEFAULT_ACCESSES // 2, 60_000),
+        REGION_SIZES, THRESHOLDS, design_space_accesses(),
     )
 
     rows = []

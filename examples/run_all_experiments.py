@@ -15,7 +15,11 @@ producing a standalone report file::
 
 Use ``--accesses`` to trade fidelity for runtime (values below ~150000 leave
 the paper-sized 4MB LLC only partially warmed) and ``--workloads`` to
-restrict the set.
+restrict the set.  ``--workers N`` fans the underlying (workload x system)
+simulation matrix out across N processes through the campaign engine before
+any figure is printed, and ``--store DIR`` persists every simulation in an
+on-disk artifact store so re-runs (or a crashed run restarted) only simulate
+what is missing.
 """
 
 from __future__ import annotations
@@ -29,6 +33,8 @@ from repro.analysis.reporting import (
     format_table,
     print_report,
 )
+from repro.exec.progress import ConsoleProgress
+from repro.exec.store import ArtifactStore
 from repro.workloads.catalog import workload_names
 
 
@@ -38,9 +44,41 @@ def main() -> None:
     parser.add_argument("--workloads", default=",".join(workload_names()))
     parser.add_argument("--skip-design-space", action="store_true",
                         help="skip the Figure 11 sweep (the slowest experiment)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the simulation matrix")
+    parser.add_argument("--store", default="",
+                        help="artifact store directory (resumable re-runs)")
     args = parser.parse_args()
     selected = [name.strip() for name in args.workloads.split(",") if name.strip()]
+    unknown = [name for name in selected if name not in workload_names()]
+    if unknown:
+        parser.error(f"unknown workloads: {unknown}; known: {workload_names()}")
+    if args.workers < 1:
+        parser.error("--workers must be at least 1")
     accesses = args.accesses
+
+    # Precompute the full figure matrix as one campaign: every simulation the
+    # report needs runs here (in parallel when --workers > 1, satisfied from
+    # the store when present); the figure functions below then only aggregate.
+    store = ArtifactStore(args.store) if args.store else None
+    outcome = experiments.run_experiment_campaign(
+        selected, num_accesses=accesses, workers=args.workers, store=store,
+        progress=ConsoleProgress())
+    print_report(
+        f"Campaign: {len(outcome)} (workload x system) runs, "
+        f"{outcome.simulated_count} simulated, {outcome.cached_count} from "
+        f"store, {outcome.elapsed_seconds:.1f}s\n")
+    if not args.skip_design_space:
+        # The Figure 11 sweep runs at its own (halved) trace length with
+        # custom BuMP geometries; precompute that grid the same way so the
+        # slowest experiment is parallel and resumable too.
+        sweep = experiments.precompute_design_space(
+            selected, num_accesses=experiments.design_space_accesses(accesses),
+            workers=args.workers, store=store, progress=ConsoleProgress())
+        print_report(
+            f"Design-space campaign: {len(sweep)} runs, "
+            f"{sweep.simulated_count} simulated, {sweep.cached_count} from "
+            f"store, {sweep.elapsed_seconds:.1f}s\n")
 
     print_report(format_nested_mapping(
         experiments.figure1_energy_breakdown(selected, accesses),
@@ -98,7 +136,7 @@ def main() -> None:
 
     if not args.skip_design_space:
         sweep = experiments.figure11_design_space(
-            selected, num_accesses=max(accesses // 2, 60_000))
+            selected, num_accesses=experiments.design_space_accesses(accesses))
         rows = []
         for region_size in (512, 1024, 2048):
             rows.append([str(region_size)] + [

@@ -23,7 +23,11 @@ The package is organised as one subpackage per subsystem:
 * :mod:`repro.analysis` -- one experiment function per paper figure/table,
   the ablation and Section VI scalability studies, paper-vs-measured
   validation, and plain-text reporting.
-* :mod:`repro.cli` -- the ``repro-bump`` command-line interface.
+* :mod:`repro.exec` -- the parallel experiment-campaign engine: declarative
+  job grids, a content-addressed on-disk artifact store, worker-process
+  sharding and the serial-vs-parallel parity guard.
+* :mod:`repro.cli` -- the ``repro`` command-line interface (also installed
+  as ``repro-bump``).
 
 Typical use::
 
@@ -52,7 +56,7 @@ from repro.sim import (
 )
 from repro.workloads import WORKLOADS, WorkloadSpec, generate_trace, get_workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BuMPConfig",

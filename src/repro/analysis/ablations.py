@@ -20,6 +20,10 @@ an experiment in the same style as :mod:`repro.analysis.experiments`
 * :func:`interleaving_sensitivity` -- BuMP with region-level versus
   block-level address interleaving (why Section IV.D maps a region to one
   DRAM row).
+
+Every study accepts ``workers``: with more than one, its simulation grid is
+fanned out through the campaign engine (:mod:`repro.exec`) before the
+aggregation loops run, which then hit only warm caches.
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.core.config import BuMPConfig
 from repro.sim.config import (
+    SystemConfig,
     base_open,
     bump_system,
     bump_vwq_system,
@@ -37,11 +42,33 @@ from repro.sim.config import (
     stealth_system,
     vwq_system,
 )
-from repro.analysis.experiments import DEFAULT_ACCESSES, DEFAULT_SEED, _run, _workloads
+from repro.analysis.experiments import (
+    DEFAULT_SEED,
+    _run,
+    _workloads,
+    precompute_results,
+)
 
 
 def _average(values: List[float]) -> float:
     return sum(values) / len(values) if values else 0.0
+
+
+def _precompute(configs_by_key: Dict[str, SystemConfig], workloads: List[str],
+                num_accesses: Optional[int], workers: Optional[int],
+                seed: int = DEFAULT_SEED) -> None:
+    """Fan a study's (workload x configuration) grid out as one campaign.
+
+    Results are seeded into the shared experiment result cache under the
+    study's cache keys, so the subsequent serial aggregation loop (which
+    still calls :func:`repro.analysis.experiments._run`) never simulates.
+    No-op for ``workers`` of one or ``None`` -- the study then runs serially
+    exactly as before.
+    """
+    if not workers or workers <= 1:
+        return
+    precompute_results(configs_by_key, workloads, num_accesses=num_accesses,
+                       seed=seed, workers=workers)
 
 
 # --------------------------------------------------------------------- #
@@ -49,7 +76,8 @@ def _average(values: List[float]) -> float:
 # --------------------------------------------------------------------- #
 def rdtt_sizing(entry_counts: Iterable[int] = (64, 256, 1024, 2048),
                 workloads: Optional[Iterable[str]] = None,
-                num_accesses: Optional[int] = None) -> Dict[int, Dict[str, float]]:
+                num_accesses: Optional[int] = None,
+                workers: Optional[int] = None) -> Dict[int, Dict[str, float]]:
     """Read coverage and overfetch as the RDTT trigger/density tables grow.
 
     The paper notes Software Testing needs a larger RDTT (Section V.B); this
@@ -58,6 +86,12 @@ def rdtt_sizing(entry_counts: Iterable[int] = (64, 256, 1024, 2048),
     """
     results: Dict[int, Dict[str, float]] = {}
     selected = _workloads(workloads)
+    entry_counts = list(entry_counts)
+    _precompute(
+        {f"bump_rdtt{entries}": bump_system(
+            bump=BuMPConfig(trigger_entries=entries, density_entries=entries))
+         for entries in entry_counts},
+        selected, num_accesses, workers)
     for entries in entry_counts:
         bump_config = BuMPConfig(trigger_entries=entries, density_entries=entries)
         config = bump_system(bump=bump_config)
@@ -76,10 +110,17 @@ def rdtt_sizing(entry_counts: Iterable[int] = (64, 256, 1024, 2048),
 
 def predictor_table_sizing(entry_counts: Iterable[int] = (128, 512, 1024, 4096),
                            workloads: Optional[Iterable[str]] = None,
-                           num_accesses: Optional[int] = None) -> Dict[int, Dict[str, float]]:
+                           num_accesses: Optional[int] = None,
+                           workers: Optional[int] = None) -> Dict[int, Dict[str, float]]:
     """Write coverage and extra writebacks as the BHT and DRT grow together."""
     results: Dict[int, Dict[str, float]] = {}
     selected = _workloads(workloads)
+    entry_counts = list(entry_counts)
+    grid = {f"bump_bhtdrt{entries}": bump_system(
+        bump=BuMPConfig(bht_entries=entries, drt_entries=entries))
+        for entries in entry_counts}
+    grid["base_open"] = base_open()
+    _precompute(grid, selected, num_accesses, workers)
     for entries in entry_counts:
         bump_config = BuMPConfig(bht_entries=entries, drt_entries=entries)
         config = bump_system(bump=bump_config)
@@ -105,7 +146,8 @@ def predictor_table_sizing(entry_counts: Iterable[int] = (128, 512, 1024, 4096),
 # --------------------------------------------------------------------- #
 def scheduler_policy_study(policies: Iterable[str] = ("fcfs", "frfcfs", "bank_round_robin"),
                            workloads: Optional[Iterable[str]] = None,
-                           num_accesses: Optional[int] = None) -> Dict[str, Dict[str, float]]:
+                           num_accesses: Optional[int] = None,
+                           workers: Optional[int] = None) -> Dict[str, Dict[str, float]]:
     """Row-buffer hit ratio and energy of BuMP under different schedulers.
 
     Section VI argues BuMP composes with fairness-oriented scheduling because
@@ -114,6 +156,11 @@ def scheduler_policy_study(policies: Iterable[str] = ("fcfs", "frfcfs", "bank_ro
     """
     results: Dict[str, Dict[str, float]] = {}
     selected = _workloads(workloads)
+    policies = list(policies)
+    _precompute(
+        {("bump" if policy == "frfcfs" else f"bump_sched_{policy}"):
+         bump_system().with_overrides(scheduler=policy) for policy in policies},
+        selected, num_accesses, workers)
     for policy in policies:
         config = bump_system().with_overrides(scheduler=policy)
         # FR-FCFS is the paper's default scheduler, so reuse the cached BuMP runs.
@@ -131,7 +178,8 @@ def scheduler_policy_study(policies: Iterable[str] = ("fcfs", "frfcfs", "bank_ro
 
 
 def interleaving_sensitivity(workloads: Optional[Iterable[str]] = None,
-                             num_accesses: Optional[int] = None) -> Dict[str, Dict[str, float]]:
+                             num_accesses: Optional[int] = None,
+                             workers: Optional[int] = None) -> Dict[str, Dict[str, float]]:
     """BuMP with region-level versus block-level address interleaving.
 
     Region interleaving maps a 1KB region onto a single DRAM row so a bulk
@@ -141,6 +189,10 @@ def interleaving_sensitivity(workloads: Optional[Iterable[str]] = None,
     """
     results: Dict[str, Dict[str, float]] = {}
     selected = _workloads(workloads)
+    _precompute(
+        {"bump": bump_system(),
+         "bump_interleave_block": bump_system().with_overrides(interleaving="block")},
+        selected, num_accesses, workers)
     for interleaving in ("region", "block"):
         config = bump_system().with_overrides(interleaving=interleaving)
         # The region-interleaved variant is the default BuMP system, so reuse
@@ -162,7 +214,8 @@ def interleaving_sensitivity(workloads: Optional[Iterable[str]] = None,
 # Mechanism comparisons
 # --------------------------------------------------------------------- #
 def writeback_mechanism_study(workloads: Optional[Iterable[str]] = None,
-                              num_accesses: Optional[int] = None) -> Dict[str, Dict[str, float]]:
+                              num_accesses: Optional[int] = None,
+                              workers: Optional[int] = None) -> Dict[str, Dict[str, float]]:
     """Write coverage and row locality of the write-side mechanisms.
 
     Compares demand-only writeback (Base-open), age-based eager writeback,
@@ -177,6 +230,7 @@ def writeback_mechanism_study(workloads: Optional[Iterable[str]] = None,
     }
     results: Dict[str, Dict[str, float]] = {}
     selected = _workloads(workloads)
+    _precompute(systems, selected, num_accesses, workers)
     for name, config in systems.items():
         coverage, hits, writes = [], [], []
         for workload in selected:
@@ -193,7 +247,8 @@ def writeback_mechanism_study(workloads: Optional[Iterable[str]] = None,
 
 
 def prefetcher_comparison(workloads: Optional[Iterable[str]] = None,
-                          num_accesses: Optional[int] = None) -> Dict[str, Dict[str, float]]:
+                          num_accesses: Optional[int] = None,
+                          workers: Optional[int] = None) -> Dict[str, Dict[str, float]]:
     """Read-side comparison: next-line, stride, Stealth, SMS and BuMP.
 
     Reports coverage, overfetch and row-buffer locality for each mechanism --
@@ -210,6 +265,8 @@ def prefetcher_comparison(workloads: Optional[Iterable[str]] = None,
     }
     results: Dict[str, Dict[str, float]] = {}
     selected = _workloads(workloads)
+    _precompute({config.name: config for config in systems.values()},
+                selected, num_accesses, workers)
     for name, config in systems.items():
         coverage, overfetch, hits = [], [], []
         for workload in selected:
@@ -232,7 +289,8 @@ def prefetcher_comparison(workloads: Optional[Iterable[str]] = None,
 # Timing model sensitivity
 # --------------------------------------------------------------------- #
 def timing_model_sensitivity(workloads: Optional[Iterable[str]] = None,
-                             num_accesses: Optional[int] = None) -> Dict[str, Dict[str, float]]:
+                             num_accesses: Optional[int] = None,
+                             workers: Optional[int] = None) -> Dict[str, Dict[str, float]]:
     """BuMP's speedup over Base-open under both core timing models.
 
     The claim that bulk streaming helps performance should not hinge on the
@@ -241,6 +299,12 @@ def timing_model_sensitivity(workloads: Optional[Iterable[str]] = None,
     """
     results: Dict[str, Dict[str, float]] = {}
     selected = _workloads(workloads)
+    grid: Dict[str, SystemConfig] = {}
+    for model in ("analytic", "interval"):
+        suffix = "" if model == "analytic" else f"_{model}"
+        grid[f"base_open{suffix}"] = base_open().with_overrides(timing_model=model)
+        grid[f"bump{suffix}"] = bump_system().with_overrides(timing_model=model)
+    _precompute(grid, selected, num_accesses, workers)
     for model in ("analytic", "interval"):
         speedups = []
         for workload in selected:

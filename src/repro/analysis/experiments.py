@@ -10,6 +10,12 @@ them would dominate the harness run time.
 The default trace length is read from the ``REPRO_EXPERIMENT_ACCESSES``
 environment variable so CI or a laptop can dial the fidelity/runtime
 trade-off without touching code.
+
+Simulations are executed through the campaign engine (:mod:`repro.exec`):
+``_run`` funnels single runs through :func:`repro.exec.campaign.run_job` so
+they hit the on-disk artifact store when ``REPRO_ARTIFACT_DIR`` is set, and
+:func:`run_experiment_campaign` fans the whole figure matrix out across
+worker processes and seeds the in-process cache the figure functions read.
 """
 
 from __future__ import annotations
@@ -18,9 +24,12 @@ import os
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.config import BuMPConfig
+from repro.exec.campaign import CampaignResult, run_campaign, run_job
+from repro.exec.jobs import JobGrid, JobSpec
+from repro.exec.progress import CampaignProgress
+from repro.exec.store import ArtifactStore, default_store
 from repro.sim.config import SystemConfig, bump_system, named_configs
 from repro.sim.results import SimulationResult
-from repro.sim.runner import DEFAULT_WARMUP_FRACTION, build_trace, run_trace
 from repro.workloads.catalog import workload_names
 
 #: Trace length used by the experiment harness (per workload, per system).
@@ -35,6 +44,67 @@ def clear_result_cache() -> None:
     _RESULT_CACHE.clear()
 
 
+def seed_result_cache(workload: str, config_key: str, num_accesses: int,
+                      seed: int, result: SimulationResult) -> None:
+    """Publish one result under the key the figure functions look up.
+
+    This is the supported way for campaign-style precompute paths (the
+    ablation studies, the benchmark harness) to warm this module's cache
+    without reaching into its internals.
+    """
+    _RESULT_CACHE[(workload, config_key, num_accesses, seed)] = result
+
+
+def cached_result(workload: str, config_key: str, num_accesses: int,
+                  seed: int) -> Optional[SimulationResult]:
+    """Return a cached result, or ``None`` when that cell has not run yet."""
+    return _RESULT_CACHE.get((workload, config_key, num_accesses, seed))
+
+
+def precompute_results(configs_by_key: Dict[str, SystemConfig],
+                       workloads: Iterable[str],
+                       num_accesses: Optional[int] = None,
+                       seed: int = DEFAULT_SEED,
+                       workers: int = 1,
+                       store: Optional[ArtifactStore] = None,
+                       progress: Optional[CampaignProgress] = None) -> CampaignResult:
+    """Run a keyed (configuration x workload) grid as one campaign.
+
+    Cells already present in the result cache are skipped; every simulated
+    or store-restored cell is seeded back under its key, so the serial
+    aggregation loops that follow are pure lookups.  This is the shared
+    engine behind :func:`run_experiment_campaign` sidekicks like
+    :func:`precompute_design_space` and the ablation studies' ``workers=``
+    support.
+    """
+    accesses = num_accesses if num_accesses is not None else DEFAULT_ACCESSES
+    keyed_jobs = [
+        (key, JobSpec(workload=workload, config=config, num_accesses=accesses,
+                      seed=seed))
+        for key, config in configs_by_key.items()
+        for workload in workloads
+        if cached_result(workload, key, accesses, seed) is None
+    ]
+    outcome = run_campaign([job for _, job in keyed_jobs],
+                           store=store if store is not None else default_store(),
+                           workers=workers, progress=progress)
+    for (key, job), job_outcome in zip(keyed_jobs, outcome.outcomes):
+        seed_result_cache(job.workload.name, key, accesses, seed,
+                          job_outcome.result)
+    return outcome
+
+
+def design_space_accesses(num_accesses: Optional[int] = None) -> int:
+    """Trace length of the Figure 11 sweep (half the default, floored).
+
+    Single source of truth shared by the example report, the benchmark
+    harness and the precompute path -- the sweep's cache cells only line up
+    when every caller computes the same length.
+    """
+    accesses = num_accesses if num_accesses is not None else DEFAULT_ACCESSES
+    return max(accesses // 2, 60_000)
+
+
 def _run(workload: str, config: SystemConfig, config_key: Optional[str] = None,
          num_accesses: Optional[int] = None, seed: int = DEFAULT_SEED) -> SimulationResult:
     """Run (or fetch from the cache) one workload under one configuration."""
@@ -42,11 +112,39 @@ def _run(workload: str, config: SystemConfig, config_key: Optional[str] = None,
     key = (workload, config_key or config.name, accesses, seed)
     if key in _RESULT_CACHE:
         return _RESULT_CACHE[key]
-    trace = build_trace(workload, accesses, seed=seed)
-    result = run_trace(trace, config, workload_name=workload,
-                       warmup_fraction=DEFAULT_WARMUP_FRACTION)
+    job = JobSpec(workload=workload, config=config, num_accesses=accesses, seed=seed)
+    result = run_job(job, store=default_store())
     _RESULT_CACHE[key] = result
     return result
+
+
+def run_experiment_campaign(workloads: Optional[Iterable[str]] = None,
+                            systems: Optional[Iterable[str]] = None,
+                            num_accesses: Optional[int] = None,
+                            seed: int = DEFAULT_SEED,
+                            workers: int = 1,
+                            store: Optional[ArtifactStore] = None,
+                            progress: Optional[CampaignProgress] = None) -> CampaignResult:
+    """Precompute the (workload x system) figure matrix as one campaign.
+
+    Results land in both the artifact store (when one is configured) and the
+    in-process result cache, so every subsequent ``figureN_*`` call is a pure
+    lookup.  ``systems`` defaults to the paper's eight evaluated
+    configurations; extended (ablation) names are accepted too.
+    """
+    selected = _workloads(workloads)
+    names = list(systems) if systems is not None else list(named_configs())
+    configs = named_configs(names)
+    accesses = num_accesses if num_accesses is not None else DEFAULT_ACCESSES
+    grid = JobGrid(workloads=selected, configs=list(configs.values()),
+                   seeds=(seed,), num_accesses=accesses)
+    outcome = run_campaign(grid.expand(), store=store if store is not None
+                           else default_store(), workers=workers, progress=progress)
+    for job_outcome in outcome.outcomes:
+        job = job_outcome.job
+        seed_result_cache(job.workload.name, job.config.name, job.num_accesses,
+                          job.seed, job_outcome.result)
+    return outcome
 
 
 def _workloads(workloads: Optional[Iterable[str]]) -> List[str]:
@@ -229,6 +327,31 @@ def figure10_performance(workloads: Optional[Iterable[str]] = None,
 # --------------------------------------------------------------------- #
 # Figure 11 -- design space exploration (region size x density threshold)
 # --------------------------------------------------------------------- #
+def precompute_design_space(workloads: Optional[Iterable[str]] = None,
+                            region_sizes: Iterable[int] = (512, 1024, 2048),
+                            threshold_fractions: Iterable[float] = (0.25, 0.5, 0.75, 1.0),
+                            num_accesses: Optional[int] = None,
+                            seed: int = DEFAULT_SEED,
+                            workers: int = 1,
+                            store: Optional[ArtifactStore] = None,
+                            progress: Optional[CampaignProgress] = None) -> CampaignResult:
+    """Fan the Figure 11 sweep grid out as one campaign.
+
+    Mirrors :func:`figure11_design_space`'s cache keys exactly (including the
+    open-row baseline it normalises against), so a subsequent call to that
+    function aggregates without simulating.
+    """
+    keyed_configs = {"base_open": _named("base_open")}
+    for region_size in region_sizes:
+        for fraction in threshold_fractions:
+            key = f"bump_r{region_size}_t{int(fraction * 100)}"
+            keyed_configs[key] = bump_system(
+                bump=BuMPConfig().with_region_size(region_size, fraction))
+    return precompute_results(keyed_configs, _workloads(workloads),
+                              num_accesses=num_accesses, seed=seed,
+                              workers=workers, store=store, progress=progress)
+
+
 def figure11_design_space(workloads: Optional[Iterable[str]] = None,
                           region_sizes: Iterable[int] = (512, 1024, 2048),
                           threshold_fractions: Iterable[float] = (0.25, 0.5, 0.75, 1.0),

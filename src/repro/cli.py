@@ -1,7 +1,8 @@
 """Command-line interface.
 
-Installed as ``repro-bump`` (and reachable as ``python -m repro``), the CLI
-exposes the library's main entry points without writing any Python:
+Installed as ``repro`` (with ``repro-bump`` kept as an alias, and reachable
+as ``python -m repro``), the CLI exposes the library's main entry points
+without writing any Python:
 
 =====================  =====================================================
 Command                Purpose
@@ -10,6 +11,8 @@ Command                Purpose
 ``characterize``       static trace statistics for one workload
 ``run``                simulate one workload under one system configuration
 ``compare``            simulate one workload under several configurations
+``campaign``           run a (workload x system x seed) grid across worker
+                       processes, resumable via the on-disk artifact store
 ``experiment``         regenerate one paper figure/table and print its rows
 ``scaling``            print the Section VI storage-scaling tables
 ``trace``              generate a workload trace and save it to disk
@@ -22,12 +25,18 @@ two on argument errors (argparse's convention).
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro import __version__
 from repro.analysis import experiments
 from repro.analysis.reporting import format_table
 from repro.analysis.scalability import storage_scaling_table, virtualization_storage_table
+from repro.exec.campaign import run_campaign, verify_parity
+from repro.exec.jobs import JobGrid
+from repro.exec.progress import ConsoleProgress, NullProgress
+from repro.exec.store import ArtifactStore, default_store
 from repro.sim.config import extended_configs, named_configs
 from repro.sim.runner import build_trace, run_trace
 from repro.trace.io import save_trace
@@ -124,6 +133,82 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_workload_list(raw: str) -> List[str]:
+    if not raw.strip() or raw.strip().lower() == "all":
+        return workload_names()
+    requested = [name.strip() for name in raw.split(",") if name.strip()]
+    known = set(workload_names())
+    unknown = [name for name in requested if name not in known]
+    if unknown:
+        raise SystemExit(f"unknown workloads: {unknown}; known: {sorted(known)}")
+    return requested
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    workloads = _parse_workload_list(args.workloads)
+    systems = [name.strip() for name in args.systems.split(",") if name.strip()]
+    if not systems:
+        raise SystemExit("no systems requested")
+    configs = [_resolve_config(name) for name in systems]
+    try:
+        seeds = [int(seed) for seed in args.seeds.split(",") if seed.strip()]
+    except ValueError:
+        raise SystemExit(f"seeds must be integers: {args.seeds!r}")
+    if not seeds:
+        raise SystemExit("no seeds requested")
+    if args.workers < 1:
+        raise SystemExit("--workers must be at least 1")
+    if args.accesses < 1:
+        raise SystemExit("--accesses must be positive")
+    if args.cores < 1:
+        raise SystemExit("--cores must be positive")
+    if not 0.0 <= args.warmup < 1.0:
+        raise SystemExit("--warmup must be in [0, 1)")
+
+    grid = JobGrid(workloads=workloads, configs=configs, seeds=seeds,
+                   num_accesses=args.accesses, num_cores=args.cores,
+                   warmup_fraction=args.warmup)
+    jobs = grid.expand()
+    try:
+        store = ArtifactStore(args.store) if args.store else default_store()
+    except OSError as exc:
+        raise SystemExit(f"cannot open artifact store at {args.store!r}: {exc}")
+
+    if args.verify_parity:
+        # Parity is a code-path property, not a fidelity one: run the sample
+        # at a reduced trace length so the guard stays cheap even for
+        # paper-sized campaigns (the sample simulates twice and is not
+        # persisted, so nothing here is reusable by the campaign proper).
+        sample_accesses = min(args.accesses, 10_000)
+        sample = [dataclasses.replace(job, num_accesses=sample_accesses)
+                  for job in jobs[:2]]
+        verify_parity(sample, workers=max(args.workers, 2))
+        _print(f"parity verified on {len(sample)} job(s) at {sample_accesses} "
+               "accesses: parallel results are identical to serial")
+
+    progress = NullProgress() if args.quiet else ConsoleProgress()
+    outcome = run_campaign(jobs, store=store, workers=args.workers,
+                           progress=progress)
+
+    metrics = ["row_buffer_hit_ratio", "read_coverage", "write_coverage",
+               "energy_per_access_nj", "throughput_ipc"]
+    rows = []
+    for job_outcome in outcome.outcomes:
+        job = job_outcome.job
+        summary = job_outcome.result.summary()
+        rows.append([job.workload.name, job.config.name, str(job.seed),
+                     job_outcome.source]
+                    + [f"{summary[metric]:.4g}" for metric in metrics])
+    _print(format_table(rows, headers=["workload", "system", "seed", "source"]
+                        + metrics))
+    _print(
+        f"{len(outcome)} jobs: {outcome.simulated_count} simulated, "
+        f"{outcome.cached_count} from store, {outcome.elapsed_seconds:.1f}s"
+        + (f" (store: {store.root})" if store is not None else "")
+    )
+    return 0
+
+
 def _render_experiment(name: str, table) -> str:
     if name == "figure11":
         rows = [[f"{region}B", f"{threshold:.0%}", f"{value:.3f}"]
@@ -203,10 +288,12 @@ def _add_trace_arguments(parser: argparse.ArgumentParser, accesses: int = 60_000
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro-bump",
+        prog="repro",
         description="BuMP (MICRO 2014) reproduction: simulate, characterise, "
                     "and regenerate the paper's experiments.",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     workloads = subparsers.add_parser("workloads", help="list available workloads")
@@ -232,6 +319,32 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--warmup", type=float, default=0.5,
                          help="fraction of the trace used for warmup")
     compare.set_defaults(handler=cmd_compare)
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="run a (workload x system x seed) grid, in parallel and resumably")
+    campaign.add_argument("--workloads", default="all",
+                          help="comma-separated workloads, or 'all' (default)")
+    campaign.add_argument("--systems", default="base_open,bump",
+                          help="comma-separated system names")
+    campaign.add_argument("--seeds", default="42",
+                          help="comma-separated generator seeds")
+    campaign.add_argument("--accesses", type=int, default=60_000,
+                          help="trace length per job")
+    campaign.add_argument("--cores", type=int, default=16, help="simulated cores")
+    campaign.add_argument("--warmup", type=float, default=0.5,
+                          help="fraction of each trace used for warmup")
+    campaign.add_argument("--workers", type=int, default=1,
+                          help="worker processes (1 = serial)")
+    campaign.add_argument("--store", default="",
+                          help="artifact store directory (default: "
+                               "$REPRO_ARTIFACT_DIR, or no persistence)")
+    campaign.add_argument("--verify-parity", action="store_true",
+                          help="first prove serial/parallel bit-identity on a "
+                               "job sample")
+    campaign.add_argument("--quiet", action="store_true",
+                          help="suppress per-job progress lines")
+    campaign.set_defaults(handler=cmd_campaign)
 
     experiment = subparsers.add_parser("experiment",
                                        help="regenerate one paper figure/table")

@@ -1,0 +1,240 @@
+"""Declarative job grids for experiment campaigns.
+
+Every figure, ablation and design-space sweep of the reproduction is an
+embarrassingly parallel grid of (workload x system configuration x seed)
+simulations.  A :class:`JobSpec` captures one cell of that grid -- everything
+needed to regenerate its trace and run it deterministically -- and a
+:class:`JobGrid` expands the cartesian product declaratively so the campaign
+engine (:mod:`repro.exec.campaign`) can fan the cells out across worker
+processes and key them into the on-disk artifact store.
+
+Identity is structural, not nominal: two jobs are the same artifact when
+their *content fingerprints* match, i.e. when the workload spec, trace
+length, core count, seed, warmup fraction and the full system-configuration
+dataclass (including the nested BuMP geometry and architectural parameters)
+are field-for-field identical.  Renaming a configuration does not fake a new
+artifact, and tweaking a nested knob never silently reuses a stale one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro import __version__ as _PACKAGE_VERSION
+from repro.sim.config import SystemConfig, named_configs
+from repro.sim.runner import (
+    DEFAULT_NUM_CORES,
+    DEFAULT_SEED,
+    DEFAULT_TRACE_LENGTH,
+    DEFAULT_WARMUP_FRACTION,
+)
+from repro.workloads.catalog import get_workload
+from repro.workloads.spec import WorkloadSpec
+
+
+# --------------------------------------------------------------------- #
+# Content fingerprints
+# --------------------------------------------------------------------- #
+def canonical_data(obj):
+    """Reduce ``obj`` to plain JSON-serialisable data, deterministically.
+
+    Dataclasses become sorted field dictionaries, enums their values, tuples
+    lists, and objects exposing ``snapshot()`` (e.g. ``StatGroup``) their
+    counter dictionaries.  The reduction is the common currency of every
+    fingerprint in this package, so it must stay stable across processes and
+    interpreter runs.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: canonical_data(getattr(obj, f.name))
+            for f in sorted(dataclasses.fields(obj), key=lambda f: f.name)
+        }
+    if isinstance(obj, Enum):
+        return canonical_data(obj.value)
+    if isinstance(obj, dict):
+        return {str(key): canonical_data(value) for key, value in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [canonical_data(item) for item in obj]
+    if hasattr(obj, "snapshot") and callable(obj.snapshot):
+        return canonical_data(obj.snapshot())
+    if isinstance(obj, float):
+        # repr() round-trips doubles exactly, unlike str() on old interpreters.
+        return float(repr(obj)) if obj == obj else "nan"
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    return repr(obj)
+
+
+def fingerprint(obj) -> str:
+    """Hex digest of the canonical reduction of ``obj`` (first 16 bytes of SHA-256)."""
+    payload = json.dumps(canonical_data(obj), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+def config_fingerprint(config: SystemConfig) -> str:
+    """Content fingerprint of a system configuration (name excluded).
+
+    Two differently named configurations that build the identical system
+    (e.g. ``bump`` and ``bump`` with its default scheduler spelled out) map to
+    the same artifact; the display name is presentation, not identity.
+    """
+    data = canonical_data(config)
+    data.pop("name", None)
+    data.pop("description", None)
+    payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+def workload_fingerprint(spec: WorkloadSpec) -> str:
+    """Content fingerprint of a workload specification."""
+    return fingerprint(spec)
+
+
+# --------------------------------------------------------------------- #
+# Job specification
+# --------------------------------------------------------------------- #
+@dataclass
+class JobSpec:
+    """One (workload, configuration, trace geometry, seed) simulation."""
+
+    workload: WorkloadSpec
+    config: SystemConfig
+    num_accesses: int = DEFAULT_TRACE_LENGTH
+    num_cores: int = DEFAULT_NUM_CORES
+    seed: int = DEFAULT_SEED
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION
+
+    def __post_init__(self) -> None:
+        if isinstance(self.workload, str):
+            self.workload = get_workload(self.workload)
+        if self.num_accesses < 1:
+            raise ValueError("num_accesses must be positive")
+        if self.num_cores < 1:
+            raise ValueError("num_cores must be positive")
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        # Fingerprints are requested several times per job (grid dedup, store
+        # pre-check, worker get/put); jobs are treated as immutable once
+        # built, so the digests are computed once and memoized.
+        self._trace_fingerprint: Optional[str] = None
+        self._result_fingerprint: Optional[str] = None
+
+    # -- identity ------------------------------------------------------ #
+    def trace_fingerprint(self) -> str:
+        """Content address of this job's input trace.
+
+        The package version is part of the address: an artifact is only
+        reusable while the code that produced it is unchanged, so a simulator
+        or generator fix (which bumps the version) invalidates persisted
+        artifacts instead of silently serving stale ones.
+        """
+        if self._trace_fingerprint is None:
+            self._trace_fingerprint = fingerprint({
+                "kind": "trace",
+                "version": _PACKAGE_VERSION,
+                "workload": canonical_data(self.workload),
+                "num_accesses": self.num_accesses,
+                "num_cores": self.num_cores,
+                "seed": self.seed,
+            })
+        return self._trace_fingerprint
+
+    def result_fingerprint(self) -> str:
+        """Content address of this job's :class:`SimulationResult` artifact."""
+        if self._result_fingerprint is None:
+            self._result_fingerprint = fingerprint({
+                "kind": "result",
+                "version": _PACKAGE_VERSION,
+                "trace": self.trace_fingerprint(),
+                "config": config_fingerprint(self.config),
+                "warmup_fraction": self.warmup_fraction,
+            })
+        return self._result_fingerprint
+
+    @property
+    def label(self) -> str:
+        """Human-readable job identifier used by progress reporting."""
+        return f"{self.workload.name}/{self.config.name}/n{self.num_accesses}/s{self.seed}"
+
+
+# --------------------------------------------------------------------- #
+# Grid expansion
+# --------------------------------------------------------------------- #
+WorkloadLike = Union[str, WorkloadSpec]
+ConfigLike = Union[str, SystemConfig]
+
+
+def _resolve_workloads(workloads: Iterable[WorkloadLike]) -> List[WorkloadSpec]:
+    return [get_workload(w) if isinstance(w, str) else w for w in workloads]
+
+
+def _resolve_configs(configs: Iterable[ConfigLike]) -> List[SystemConfig]:
+    resolved: List[SystemConfig] = []
+    for config in configs:
+        if isinstance(config, str):
+            resolved.append(named_configs([config])[config])
+        else:
+            resolved.append(config)
+    return resolved
+
+
+@dataclass
+class JobGrid:
+    """Declarative cartesian product of workloads x configurations x seeds.
+
+    The grid is the campaign engine's input language: experiments state *what*
+    has to run and the engine decides where and whether (a store hit skips the
+    simulation entirely).  Duplicate cells -- e.g. two named configurations
+    that fingerprint identically -- are dropped at expansion, keeping first
+    occurrence order.
+    """
+
+    workloads: Sequence[WorkloadLike]
+    configs: Sequence[ConfigLike]
+    seeds: Sequence[int] = (DEFAULT_SEED,)
+    num_accesses: int = DEFAULT_TRACE_LENGTH
+    num_cores: int = DEFAULT_NUM_CORES
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION
+
+    def expand(self, dedup: bool = True) -> List[JobSpec]:
+        """Materialise the grid as a flat, optionally deduplicated, job list."""
+        jobs: List[JobSpec] = []
+        seen: Dict[str, None] = {}
+        configs = _resolve_configs(self.configs)
+        for workload in _resolve_workloads(self.workloads):
+            for config in configs:
+                for seed in self.seeds:
+                    job = JobSpec(
+                        workload=workload,
+                        config=config,
+                        num_accesses=self.num_accesses,
+                        num_cores=self.num_cores,
+                        seed=seed,
+                        warmup_fraction=self.warmup_fraction,
+                    )
+                    if dedup:
+                        digest = job.result_fingerprint()
+                        if digest in seen:
+                            continue
+                        seen[digest] = None
+                    jobs.append(job)
+        return jobs
+
+    def __len__(self) -> int:
+        return len(self.expand())
+
+
+def expand_grid(workloads: Sequence[WorkloadLike],
+                configs: Sequence[ConfigLike],
+                seeds: Sequence[int] = (DEFAULT_SEED,),
+                num_accesses: int = DEFAULT_TRACE_LENGTH,
+                num_cores: int = DEFAULT_NUM_CORES,
+                warmup_fraction: float = DEFAULT_WARMUP_FRACTION) -> List[JobSpec]:
+    """Functional shorthand for ``JobGrid(...).expand()``."""
+    return JobGrid(workloads, configs, seeds, num_accesses, num_cores,
+                   warmup_fraction).expand()

@@ -1,0 +1,254 @@
+"""Content-addressed on-disk artifact store for campaign outputs.
+
+The store persists the two expensive artifacts a campaign produces -- workload
+traces and :class:`repro.sim.results.SimulationResult` bundles -- keyed by the
+content fingerprints of :mod:`repro.exec.jobs`.  Because the key covers the
+full workload spec, trace geometry, seed, system-configuration contents and
+the package version (so artifacts from an older simulator are never reused
+after a code change), a hit is *guaranteed* to be the byte-equivalent
+artifact of re-running the simulation, so crashed or interrupted sweeps
+resume for free and repeated invocations of the same campaign cost only
+disk reads.
+
+Concurrency model: many worker processes share one store directory.  Writers
+stage into a temporary file and ``os.replace`` it into place, so readers never
+observe partial artifacts and concurrent writers of the same key harmlessly
+race to publish identical bytes.  Reads refresh the artifact's mtime so the
+size-bounded eviction (:meth:`ArtifactStore.prune`) discards least-recently
+*used* entries first.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+#: Bump when the serialised payload layout changes; mismatching artifacts are
+#: treated as misses and rewritten rather than unpickled into garbage.
+STORE_FORMAT_VERSION = 1
+
+#: Environment variable consulted by :func:`default_store`.
+STORE_ENV_VAR = "REPRO_ARTIFACT_DIR"
+
+_KINDS = ("traces", "results")
+
+
+class ArtifactStore:
+    """A directory of content-addressed pickled artifacts with LRU pruning."""
+
+    def __init__(self, root, max_entries: Optional[int] = None,
+                 max_bytes: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be positive")
+        self.root = Path(root)
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        for kind in _KINDS:
+            (self.root / kind).mkdir(parents=True, exist_ok=True)
+        self.counters: Dict[str, int] = {
+            "hits": 0, "misses": 0, "stores": 0, "evictions": 0, "corrupt": 0,
+        }
+        # Approximate occupancy, maintained incrementally so bounded stores
+        # do not stat-scan the whole directory on every put; prune() resyncs
+        # the numbers with the filesystem (other processes write here too).
+        self._bounded = max_entries is not None or max_bytes is not None
+        if self._bounded:
+            entries = self._entries()
+            self._approx_entries = len(entries)
+            self._approx_bytes = sum(size for _, size, _ in entries)
+
+    # ------------------------------------------------------------------ #
+    # Paths
+    # ------------------------------------------------------------------ #
+    def _path(self, kind: str, digest: str) -> Path:
+        if kind not in _KINDS:
+            raise ValueError(f"unknown artifact kind {kind!r}")
+        return self.root / kind / f"{digest}.pkl"
+
+    # ------------------------------------------------------------------ #
+    # Generic get/put
+    # ------------------------------------------------------------------ #
+    def _get(self, kind: str, digest: str):
+        path = self._path(kind, digest)
+        try:
+            with path.open("rb") as handle:
+                version, payload = pickle.load(handle)
+        except FileNotFoundError:
+            self.counters["misses"] += 1
+            return None
+        except (pickle.UnpicklingError, EOFError, ValueError, AttributeError,
+                ImportError, IndexError, TypeError):
+            # A torn or stale-format artifact is indistinguishable from a
+            # miss; drop it so the rewritten artifact replaces it.
+            self.counters["corrupt"] += 1
+            self.counters["misses"] += 1
+            self._remove(path)
+            return None
+        if version != STORE_FORMAT_VERSION:
+            self.counters["corrupt"] += 1
+            self.counters["misses"] += 1
+            self._remove(path)
+            return None
+        self.counters["hits"] += 1
+        self._touch(path)
+        return payload
+
+    def _put(self, kind: str, digest: str, payload) -> Path:
+        path = self._path(kind, digest)
+        handle = tempfile.NamedTemporaryFile(
+            mode="wb", dir=str(path.parent), prefix=f".{digest}.", delete=False
+        )
+        try:
+            with handle:
+                pickle.dump((STORE_FORMAT_VERSION, payload), handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            try:
+                replaced_size = path.stat().st_size
+            except OSError:
+                replaced_size = None
+            written_size = os.path.getsize(handle.name)
+            os.replace(handle.name, path)
+        except BaseException:
+            self._remove(Path(handle.name))
+            raise
+        self.counters["stores"] += 1
+        if self._bounded:
+            # Approximate on purpose: concurrent writers can skew these
+            # numbers slightly, and prune() resyncs them with the filesystem.
+            if replaced_size is None:
+                self._approx_entries += 1
+            else:
+                self._approx_bytes -= replaced_size
+            self._approx_bytes += written_size
+            if ((self.max_entries is not None
+                 and self._approx_entries > self.max_entries)
+                    or (self.max_bytes is not None
+                        and self._approx_bytes > self.max_bytes)):
+                self.prune()
+        return path
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        try:
+            os.utime(path, None)
+        except OSError:  # pragma: no cover - racing eviction
+            pass
+
+    @staticmethod
+    def _remove(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - racing writer/eviction
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Typed accessors
+    # ------------------------------------------------------------------ #
+    def get_trace(self, digest: str):
+        """Return the stored trace for ``digest`` or ``None``."""
+        return self._get("traces", digest)
+
+    def put_trace(self, digest: str, trace) -> Path:
+        """Persist a trace (a list of ``Access`` records)."""
+        return self._put("traces", digest, list(trace))
+
+    def get_result(self, digest: str):
+        """Return the stored :class:`SimulationResult` for ``digest`` or ``None``."""
+        return self._get("results", digest)
+
+    def put_result(self, digest: str, result) -> Path:
+        """Persist one simulation result."""
+        return self._put("results", digest, result)
+
+    # ------------------------------------------------------------------ #
+    # Introspection and eviction
+    # ------------------------------------------------------------------ #
+    def _entries(self) -> List[Tuple[float, int, Path]]:
+        """(mtime, size, path) for every artifact, oldest first."""
+        entries = []
+        for kind in _KINDS:
+            for path in (self.root / kind).glob("*.pkl"):
+                try:
+                    stat = path.stat()
+                except OSError:  # pragma: no cover - racing eviction
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort(key=lambda item: (item[0], str(item[2])))
+        return entries
+
+    def entry_count(self) -> int:
+        """Number of artifacts currently stored."""
+        return len(self._entries())
+
+    def total_bytes(self) -> int:
+        """Total artifact payload size on disk."""
+        return sum(size for _, size, _ in self._entries())
+
+    def prune(self) -> int:
+        """Evict least-recently-used artifacts beyond the configured bounds."""
+        if not self._bounded:
+            return 0
+        entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        evicted = 0
+        while entries and (
+            (self.max_entries is not None and len(entries) > self.max_entries)
+            or (self.max_bytes is not None and total > self.max_bytes)
+        ):
+            _, size, path = entries.pop(0)
+            self._remove(path)
+            total -= size
+            evicted += 1
+        self.counters["evictions"] += evicted
+        self._approx_entries = len(entries)
+        self._approx_bytes = total
+        return evicted
+
+    def clear(self) -> None:
+        """Delete every stored artifact (the directory itself is kept)."""
+        for _, _, path in self._entries():
+            self._remove(path)
+        if self._bounded:
+            self._approx_entries = 0
+            self._approx_bytes = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/store/eviction counters plus current occupancy."""
+        snapshot = dict(self.counters)
+        snapshot["entries"] = self.entry_count()
+        snapshot["bytes"] = self.total_bytes()
+        return snapshot
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArtifactStore({str(self.root)!r}, entries={self.entry_count()})"
+
+
+#: Memoized stores handed out by :func:`default_store`, keyed by root path so
+#: the hot analysis path (one call per simulation) neither re-runs the mkdir
+#: handshake nor discards hit/miss counters on every lookup.
+_DEFAULT_STORES: Dict[str, ArtifactStore] = {}
+
+
+def default_store() -> Optional[ArtifactStore]:
+    """Store rooted at ``$REPRO_ARTIFACT_DIR``, or ``None`` when unset.
+
+    This is how the analysis layer, the benchmark harness and the CLI opt
+    into persistence without plumbing a store handle through every call.
+    The environment is re-read on every call (so tests and long-lived
+    sessions can repoint it), but store handles are memoized per root.
+    """
+    root = os.environ.get(STORE_ENV_VAR, "").strip()
+    if not root:
+        return None
+    store = _DEFAULT_STORES.get(root)
+    if store is None or not store.root.is_dir():
+        # Rebuild the handle when the directory vanished underneath us (its
+        # constructor recreates the layout); one stat per call otherwise.
+        store = ArtifactStore(root)
+        _DEFAULT_STORES[root] = store
+    return store

@@ -12,6 +12,7 @@ regenerating a trace costs more than simulating it.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Union
 
 from repro.common.request import Access
@@ -32,26 +33,43 @@ DEFAULT_WARMUP_FRACTION = 0.5
 DEFAULT_NUM_CORES = 16
 DEFAULT_SEED = 42
 
-_TRACE_CACHE: Dict[tuple, List[Access]] = {}
+#: Upper bound on cached traces (the cache previously grew without limit).
+#: Eight entries cover the six paper workloads at one geometry with room for
+#: two sweep variants, bounding this cache's residency to a few hundred MB.
+#: The campaign engine keeps its own equally-bounded, content-keyed memo
+#: (:mod:`repro.exec.pool`) for the analysis paths; this cache serves the
+#: single-run API and the CLI's run/compare/trace commands.
+TRACE_CACHE_MAX_ENTRIES = 8
+
+_TRACE_CACHE: "OrderedDict[tuple, List[Access]]" = OrderedDict()
 
 
 def build_trace(workload: Union[str, WorkloadSpec], num_accesses: int = DEFAULT_TRACE_LENGTH,
                 num_cores: int = DEFAULT_NUM_CORES, seed: int = DEFAULT_SEED,
                 use_cache: bool = True) -> List[Access]:
-    """Build (or fetch from the cache) the trace for a workload."""
+    """Build (or fetch from the LRU cache) the trace for a workload."""
     spec = get_workload(workload) if isinstance(workload, str) else workload
     key = (spec.name, num_accesses, num_cores, seed)
     if use_cache and key in _TRACE_CACHE:
+        _TRACE_CACHE.move_to_end(key)
         return _TRACE_CACHE[key]
     trace = generate_trace(spec, num_accesses, num_cores=num_cores, seed=seed)
     if use_cache:
         _TRACE_CACHE[key] = trace
+        _TRACE_CACHE.move_to_end(key)
+        while len(_TRACE_CACHE) > TRACE_CACHE_MAX_ENTRIES:
+            _TRACE_CACHE.popitem(last=False)
     return trace
 
 
 def clear_trace_cache() -> None:
     """Drop all cached traces (used by tests that tune generator parameters)."""
     _TRACE_CACHE.clear()
+
+
+def trace_cache_info() -> Dict[str, int]:
+    """Current occupancy and capacity of the trace cache."""
+    return {"entries": len(_TRACE_CACHE), "capacity": TRACE_CACHE_MAX_ENTRIES}
 
 
 def run_trace(trace: Iterable[Access], config: SystemConfig,

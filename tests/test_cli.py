@@ -16,6 +16,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as err:
+            build_parser().parse_args(["--version"])
+        assert err.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
     def test_rejects_unknown_workload(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "no_such_workload"])
@@ -71,6 +79,29 @@ class TestCommands:
         with pytest.raises(SystemExit):
             run_cli(capsys, "compare", "web_serving", "--systems", " , ",
                     "--accesses", "2000")
+
+    def test_campaign_runs_and_resumes_from_store(self, capsys, tmp_path):
+        store = tmp_path / "artifacts"
+        argv = ["campaign", "--workloads", "web_search",
+                "--systems", "base_open,bump", "--accesses", "2000",
+                "--cores", "4", "--workers", "2", "--store", str(store),
+                "--quiet"]
+        status, out = run_cli(capsys, *argv)
+        assert status == 0
+        assert "2 simulated, 0 from store" in out
+        status, out = run_cli(capsys, *argv)
+        assert status == 0
+        assert "0 simulated, 2 from store" in out
+
+    def test_campaign_rejects_unknown_workload(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            run_cli(capsys, "campaign", "--workloads", "warp_drive")
+        assert "warp_drive" in str(err.value)
+
+    def test_campaign_rejects_bad_seeds(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "campaign", "--workloads", "web_search",
+                    "--seeds", "one,two")
 
     def test_experiment_table4(self, capsys):
         status, out = run_cli(capsys, "experiment", "table4",

@@ -1,0 +1,117 @@
+"""Artifact store round-trips, corruption handling and LRU eviction."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.common.request import Access
+from repro.exec.campaign import result_fingerprint
+from repro.exec.jobs import JobSpec
+from repro.exec.pool import execute_job
+from repro.exec.store import STORE_ENV_VAR, ArtifactStore, default_store
+from repro.sim.config import base_open
+from repro.sim.results import SimulationResult
+
+
+def _small_trace(n=8):
+    return [Access(core=0, pc=4096, address=64 * i) for i in range(n)]
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "artifacts")
+
+
+class TestRoundTrip:
+    def test_trace_round_trip(self, store):
+        trace = _small_trace()
+        store.put_trace("abc123", trace)
+        loaded = store.get_trace("abc123")
+        assert [a.address for a in loaded] == [a.address for a in trace]
+
+    def test_result_round_trip_preserves_every_field(self, store, tmp_path):
+        job = JobSpec(workload="web_search", config=base_open(),
+                      num_accesses=1500, num_cores=2, seed=3, warmup_fraction=0.2)
+        result = execute_job(job, store=None)
+        store.put_result(job.result_fingerprint(), result)
+        loaded = store.get_result(job.result_fingerprint())
+        assert isinstance(loaded, SimulationResult)
+        assert result_fingerprint(loaded) == result_fingerprint(result)
+        assert loaded.summary() == result.summary()
+
+    def test_missing_key_is_a_miss(self, store):
+        assert store.get_result("0" * 32) is None
+        assert store.stats()["misses"] == 1
+
+
+class TestRobustness:
+    def test_truncated_artifact_is_treated_as_miss_and_removed(self, store):
+        digest = "a" * 32
+        store.put_result(digest, SimulationResult(workload="w", config_name="c"))
+        path = store._path("results", digest)
+        path.write_bytes(path.read_bytes()[:10])
+        assert store.get_result(digest) is None
+        assert not path.exists()
+
+    def test_wrong_format_version_is_treated_as_miss(self, store):
+        digest = "b" * 32
+        path = store._path("results", digest)
+        with path.open("wb") as handle:
+            pickle.dump((999, "payload"), handle)
+        assert store.get_result(digest) is None
+        assert store.counters["corrupt"] == 1
+
+    def test_rejects_invalid_bounds(self, tmp_path):
+        with pytest.raises(ValueError):
+            ArtifactStore(tmp_path, max_entries=0)
+        with pytest.raises(ValueError):
+            ArtifactStore(tmp_path, max_bytes=0)
+
+
+class TestEviction:
+    def test_max_entries_evicts_least_recently_used(self, store, tmp_path):
+        bounded = ArtifactStore(tmp_path / "bounded", max_entries=3)
+        digests = [f"{i:032x}" for i in range(4)]
+        for index, digest in enumerate(digests):
+            path = bounded._path("results", digest)
+            bounded.put_result(digest, {"index": index})
+            # Space the mtimes out so LRU order is unambiguous on coarse
+            # filesystem timestamp granularity.
+            os.utime(path, (1_000_000 + index, 1_000_000 + index))
+        bounded.prune()
+        assert bounded.entry_count() == 3
+        assert bounded.get_result(digests[0]) is None  # oldest evicted
+        assert bounded.get_result(digests[3]) is not None
+
+    def test_max_bytes_bounds_total_size(self, tmp_path):
+        bounded = ArtifactStore(tmp_path / "bytes", max_bytes=4096)
+        for i in range(8):
+            bounded.put_trace(f"{i:032x}", _small_trace(32))
+        assert bounded.total_bytes() <= 4096
+
+    def test_clear_removes_everything(self, store):
+        store.put_trace("c" * 32, _small_trace())
+        store.put_result("d" * 32, {"x": 1})
+        store.clear()
+        assert store.entry_count() == 0
+
+
+class TestDefaultStore:
+    def test_unset_env_gives_no_store(self, monkeypatch):
+        monkeypatch.delenv(STORE_ENV_VAR, raising=False)
+        assert default_store() is None
+
+    def test_env_configures_root(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path / "env-store"))
+        store = default_store()
+        assert store is not None
+        assert store.root == tmp_path / "env-store"
+        assert (tmp_path / "env-store" / "results").is_dir()
+
+    def test_default_store_handle_is_memoized_per_root(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path / "memo-store"))
+        first = default_store()
+        assert default_store() is first
+        monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path / "other-store"))
+        assert default_store() is not first

@@ -5,11 +5,13 @@ import pytest
 from repro.common.params import CacheParams, SystemParams
 from repro.sim.config import base_open, named_configs
 from repro.sim.runner import (
+    TRACE_CACHE_MAX_ENTRIES,
     build_trace,
     clear_trace_cache,
     run_configs,
     run_named_configs,
     run_workload,
+    trace_cache_info,
 )
 from repro.workloads.catalog import get_workload
 
@@ -38,6 +40,35 @@ def test_build_trace_can_bypass_cache():
     second = build_trace("web_search", 1000, num_cores=2, seed=1, use_cache=False)
     assert first is not second
     assert [a.address for a in first] == [a.address for a in second]
+
+
+def test_trace_cache_is_bounded_by_lru_eviction():
+    for seed in range(TRACE_CACHE_MAX_ENTRIES + 3):
+        build_trace("web_search", 200, num_cores=2, seed=seed)
+    info = trace_cache_info()
+    assert info["capacity"] == TRACE_CACHE_MAX_ENTRIES
+    assert info["entries"] == TRACE_CACHE_MAX_ENTRIES
+    # The oldest seeds were evicted; rebuilding one yields a fresh list.
+    oldest = build_trace("web_search", 200, num_cores=2, seed=0)
+    again = build_trace("web_search", 200, num_cores=2, seed=0)
+    assert oldest is again  # re-cached after the rebuild
+
+
+def test_trace_cache_recency_is_refreshed_on_hit():
+    first = build_trace("web_search", 200, num_cores=2, seed=0)
+    for seed in range(1, TRACE_CACHE_MAX_ENTRIES):
+        build_trace("web_search", 200, num_cores=2, seed=seed)
+    # Touch seed 0 so it is the most recently used, then overflow the cache.
+    assert build_trace("web_search", 200, num_cores=2, seed=0) is first
+    build_trace("web_search", 200, num_cores=2, seed=TRACE_CACHE_MAX_ENTRIES)
+    assert build_trace("web_search", 200, num_cores=2, seed=0) is first
+
+
+def test_clear_trace_cache_resets_occupancy():
+    build_trace("web_search", 200, num_cores=2, seed=1)
+    assert trace_cache_info()["entries"] == 1
+    clear_trace_cache()
+    assert trace_cache_info()["entries"] == 0
 
 
 def test_run_workload_accepts_spec_and_name():
