@@ -54,9 +54,17 @@ from repro.sim import (
     sms_vwq_system,
     vwq_system,
 )
-from repro.workloads import WORKLOADS, WorkloadSpec, generate_trace, get_workload
+from repro.trace import TraceBuffer
+from repro.workloads import (
+    WORKLOADS,
+    WorkloadSpec,
+    generate_trace,
+    generate_trace_buffer,
+    get_workload,
+    iter_trace_chunks,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BuMPConfig",
@@ -74,9 +82,12 @@ __all__ = [
     "sms_system",
     "sms_vwq_system",
     "vwq_system",
+    "TraceBuffer",
     "WORKLOADS",
     "WorkloadSpec",
     "generate_trace",
+    "generate_trace_buffer",
     "get_workload",
+    "iter_trace_chunks",
     "__version__",
 ]

@@ -41,7 +41,8 @@ from repro.sim.config import extended_configs, named_configs
 from repro.sim.runner import build_trace, run_trace
 from repro.trace.io import save_trace
 from repro.trace.stats import characterize_trace
-from repro.workloads.catalog import display_name, workload_names
+from repro.workloads.catalog import display_name, get_workload, workload_names
+from repro.workloads.generator import generate_trace_buffer
 
 #: Experiment functions reachable through ``repro-bump experiment <name>``.
 EXPERIMENTS: Dict[str, Callable] = {
@@ -267,10 +268,22 @@ def cmd_scaling(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    trace = build_trace(args.workload, args.accesses, num_cores=args.cores,
-                        seed=args.seed, use_cache=False)
+    if args.chunk_size < 1:
+        raise SystemExit("--chunk-size must be positive")
+    trace = generate_trace_buffer(get_workload(args.workload), args.accesses,
+                                  num_cores=args.cores, seed=args.seed,
+                                  chunk_size=args.chunk_size)
     path = save_trace(trace, args.output)
+    rows = [
+        ["accesses", f"{len(trace)}"],
+        ["store_fraction", f"{trace.store_fraction:.4g}"],
+        ["instructions", f"{trace.total_instructions}"],
+        ["columnar_bytes", f"{trace.nbytes}"],
+        ["file_bytes", f"{path.stat().st_size}"],
+        ["format", path.suffix.lstrip(".")],
+    ]
     _print(f"wrote {len(trace)} accesses to {path}")
+    _print(format_table(rows, headers=["metric", "value"]))
     return 0
 
 
@@ -362,7 +375,9 @@ def build_parser() -> argparse.ArgumentParser:
     trace = subparsers.add_parser("trace", help="generate a trace and save it")
     _add_trace_arguments(trace, accesses=100_000)
     trace.add_argument("--output", "-o", required=True,
-                       help="output file (.csv, .txt or .npz)")
+                       help="output file (.csv, .txt, .npz or .npy)")
+    trace.add_argument("--chunk-size", type=int, default=65_536,
+                       help="generator chunk granularity (accesses)")
     trace.set_defaults(handler=cmd_trace)
 
     return parser

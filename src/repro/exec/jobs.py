@@ -18,14 +18,13 @@ artifact, and tweaking a nested knob never silently reuses a stale one.
 
 from __future__ import annotations
 
-import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass, field
-from enum import Enum
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro import __version__ as _PACKAGE_VERSION
+from repro.common.fingerprint import canonical_data, fingerprint, workload_fingerprint
 from repro.sim.config import SystemConfig, named_configs
 from repro.sim.runner import (
     DEFAULT_NUM_CORES,
@@ -40,40 +39,13 @@ from repro.workloads.spec import WorkloadSpec
 # --------------------------------------------------------------------- #
 # Content fingerprints
 # --------------------------------------------------------------------- #
-def canonical_data(obj):
-    """Reduce ``obj`` to plain JSON-serialisable data, deterministically.
-
-    Dataclasses become sorted field dictionaries, enums their values, tuples
-    lists, and objects exposing ``snapshot()`` (e.g. ``StatGroup``) their
-    counter dictionaries.  The reduction is the common currency of every
-    fingerprint in this package, so it must stay stable across processes and
-    interpreter runs.
-    """
-    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        return {
-            f.name: canonical_data(getattr(obj, f.name))
-            for f in sorted(dataclasses.fields(obj), key=lambda f: f.name)
-        }
-    if isinstance(obj, Enum):
-        return canonical_data(obj.value)
-    if isinstance(obj, dict):
-        return {str(key): canonical_data(value) for key, value in sorted(obj.items())}
-    if isinstance(obj, (list, tuple)):
-        return [canonical_data(item) for item in obj]
-    if hasattr(obj, "snapshot") and callable(obj.snapshot):
-        return canonical_data(obj.snapshot())
-    if isinstance(obj, float):
-        # repr() round-trips doubles exactly, unlike str() on old interpreters.
-        return float(repr(obj)) if obj == obj else "nan"
-    if obj is None or isinstance(obj, (bool, int, str)):
-        return obj
-    return repr(obj)
-
-
-def fingerprint(obj) -> str:
-    """Hex digest of the canonical reduction of ``obj`` (first 16 bytes of SHA-256)."""
-    payload = json.dumps(canonical_data(obj), sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+# ``canonical_data``, ``fingerprint`` and ``workload_fingerprint`` live in
+# :mod:`repro.common.fingerprint` (the runner's trace cache keys on them
+# too); they are re-exported here as the historical public surface.
+__all__ = [
+    "JobGrid", "JobSpec", "canonical_data", "config_fingerprint",
+    "expand_grid", "fingerprint", "workload_fingerprint",
+]
 
 
 def config_fingerprint(config: SystemConfig) -> str:
@@ -88,11 +60,6 @@ def config_fingerprint(config: SystemConfig) -> str:
     data.pop("description", None)
     payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
-
-
-def workload_fingerprint(spec: WorkloadSpec) -> str:
-    """Content fingerprint of a workload specification."""
-    return fingerprint(spec)
 
 
 # --------------------------------------------------------------------- #

@@ -5,14 +5,15 @@ share one input trace -- and submits each shard to a
 :class:`concurrent.futures.ProcessPoolExecutor`.  Whichever worker picks a
 shard up builds (or loads) its trace exactly once, runs every configuration
 of the shard over the identical access stream, and returns the pickled
-:class:`SimulationResult` bundles.  The trace is additionally published to the
-shared content-addressed store so sibling workers -- and future campaign
-invocations -- never regenerate it.
+:class:`SimulationResult` bundles.  The trace is additionally published to
+the shared content-addressed store -- as a compact columnar ``.npy`` that
+sibling workers (and future campaign invocations) map back in zero-copy --
+so it is never regenerated or shipped as pickled object lists.
 
 Everything here is deliberately a thin composition of the single-run API
-(:func:`repro.sim.runner.run_trace` over :func:`generate_trace` output):
-a worker executes byte-for-byte the same code path as a serial run, which is
-what makes the serial/parallel parity guarantee hold.
+(:func:`repro.sim.runner.run_trace` over :func:`generate_trace_buffer`
+output): a worker executes byte-for-byte the same code path as a serial run,
+which is what makes the serial/parallel parity guarantee hold.
 """
 
 from __future__ import annotations
@@ -24,23 +25,22 @@ from repro.exec.jobs import JobSpec
 from repro.exec.store import ArtifactStore
 from repro.sim.results import SimulationResult
 from repro.sim.runner import run_trace
-from repro.workloads.generator import generate_trace
+from repro.trace.buffer import TraceBuffer
+from repro.workloads.generator import generate_trace_buffer
 
-#: Bound on the per-process trace memo.  Traces are large (hundreds of
-#: thousands of ``Access`` records) so only a handful stay hot, but the bound
-#: must cover the six paper workloads at once -- config-outer sweeps cycle
-#: through all six traces per configuration, and a smaller memo would
-#: regenerate every one of them on every lap (mirrors
-#: ``repro.sim.runner.TRACE_CACHE_MAX_ENTRIES``).
+#: Bound on the per-process trace memo.  Columnar buffers are compact
+#: (~29 bytes per access) but the bound must cover the six paper workloads
+#: at once -- config-outer sweeps cycle through all six traces per
+#: configuration, and a smaller memo would regenerate every one of them on
+#: every lap (mirrors ``repro.sim.runner.TRACE_CACHE_MAX_ENTRIES``).
 TRACE_MEMO_MAX_ENTRIES = 8
 
 #: Per-worker state installed by :func:`_init_worker` (fork- and spawn-safe).
 _WORKER_STORE: Optional[ArtifactStore] = None
-#: Deliberately separate from ``repro.sim.runner``'s trace cache: that cache
-#: is keyed by workload *name*, which cannot distinguish a spec customised
-#: via ``with_overrides`` from the catalog spec of the same name; the engine
-#: keys by content fingerprint so such jobs never receive a stale trace.
-_TRACE_MEMO: "OrderedDict[str, list]" = OrderedDict()
+#: Deliberately separate from ``repro.sim.runner``'s trace cache: this memo
+#: additionally sits behind the shared artifact store, so a campaign-wide
+#: trace is built once per store, then mapped (not regenerated) per worker.
+_TRACE_MEMO: "OrderedDict[str, TraceBuffer]" = OrderedDict()
 
 
 def clear_trace_memo() -> None:
@@ -60,20 +60,20 @@ def _init_worker(store_root: Optional[str],
     )
 
 
-def _memoize_trace(digest: str, trace: list) -> None:
+def _memoize_trace(digest: str, trace: TraceBuffer) -> None:
     _TRACE_MEMO[digest] = trace
     _TRACE_MEMO.move_to_end(digest)
     while len(_TRACE_MEMO) > TRACE_MEMO_MAX_ENTRIES:
         _TRACE_MEMO.popitem(last=False)
 
 
-def job_trace(job: JobSpec, store: Optional[ArtifactStore] = None) -> list:
-    """Build (or fetch) the input trace of ``job``.
+def job_trace(job: JobSpec, store: Optional[ArtifactStore] = None) -> TraceBuffer:
+    """Build (or fetch) the columnar input trace of ``job``.
 
-    Resolution order: per-process memo, shared artifact store, fresh
-    generation (which is then published to both).  Generation is
-    deterministic in (spec, length, cores, seed), so every source yields the
-    identical access stream.
+    Resolution order: per-process memo, shared artifact store (memory-mapped
+    ``.npy`` columns), fresh generation (which is then published to both).
+    Generation is deterministic in (spec, length, cores, seed), so every
+    source yields the identical access stream.
     """
     digest = job.trace_fingerprint()
     cached = _TRACE_MEMO.get(digest)
@@ -85,8 +85,8 @@ def job_trace(job: JobSpec, store: Optional[ArtifactStore] = None) -> list:
         if stored is not None:
             _memoize_trace(digest, stored)
             return stored
-    trace = generate_trace(job.workload, job.num_accesses,
-                           num_cores=job.num_cores, seed=job.seed)
+    trace = generate_trace_buffer(job.workload, job.num_accesses,
+                                  num_cores=job.num_cores, seed=job.seed)
     _memoize_trace(digest, trace)
     if store is not None:
         store.put_trace(digest, trace)

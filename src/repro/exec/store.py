@@ -10,6 +10,13 @@ artifact of re-running the simulation, so crashed or interrupted sweeps
 resume for free and repeated invocations of the same campaign cost only
 disk reads.
 
+Formats: results are small and stay pickled; traces are stored as compact
+structured ``.npy`` column files through the :mod:`repro.trace.io` codec and
+read back **memory-mapped** as :class:`repro.trace.buffer.TraceBuffer`
+bundles -- no per-access objects are ever serialised, so shipping a trace to
+a worker costs page-cache reads instead of unpickling hundreds of thousands
+of boxed records.
+
 Concurrency model: many worker processes share one store directory.  Writers
 stage into a temporary file and ``os.replace`` it into place, so readers never
 observe partial artifacts and concurrent writers of the same key harmlessly
@@ -26,14 +33,21 @@ import tempfile
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from repro.trace.buffer import TraceBuffer
+from repro.trace.io import load_trace_buffer, save_trace
+
 #: Bump when the serialised payload layout changes; mismatching artifacts are
 #: treated as misses and rewritten rather than unpickled into garbage.
-STORE_FORMAT_VERSION = 1
+#: Version 2: traces moved from pickled object lists to structured ``.npy``.
+STORE_FORMAT_VERSION = 2
 
 #: Environment variable consulted by :func:`default_store`.
 STORE_ENV_VAR = "REPRO_ARTIFACT_DIR"
 
 _KINDS = ("traces", "results")
+#: On-disk suffix per artifact kind: columnar traces are ``.npy`` record
+#: files (mmap-able, schema-checked by dtype); everything else is pickled.
+_SUFFIXES = {"traces": ".npy", "results": ".pkl"}
 
 
 class ArtifactStore:
@@ -68,7 +82,7 @@ class ArtifactStore:
     def _path(self, kind: str, digest: str) -> Path:
         if kind not in _KINDS:
             raise ValueError(f"unknown artifact kind {kind!r}")
-        return self.root / kind / f"{digest}.pkl"
+        return self.root / kind / f"{digest}{_SUFFIXES[kind]}"
 
     # ------------------------------------------------------------------ #
     # Generic get/put
@@ -99,22 +113,34 @@ class ArtifactStore:
         return payload
 
     def _put(self, kind: str, digest: str, payload) -> Path:
-        path = self._path(kind, digest)
-        handle = tempfile.NamedTemporaryFile(
-            mode="wb", dir=str(path.parent), prefix=f".{digest}.", delete=False
-        )
-        try:
-            with handle:
-                pickle.dump((STORE_FORMAT_VERSION, payload), handle,
+        blob = pickle.dumps((STORE_FORMAT_VERSION, payload),
                             protocol=pickle.HIGHEST_PROTOCOL)
+        return self._publish(self._path(kind, digest),
+                             lambda staging: staging.write_bytes(blob))
+
+    def _publish(self, path: Path, writer) -> Path:
+        """Atomically publish an artifact: stage, write, ``os.replace``.
+
+        ``writer`` receives the staging path (same directory and suffix as
+        the final artifact, so codecs that dispatch on extension work) and
+        must leave the complete payload there.
+        """
+        handle = tempfile.NamedTemporaryFile(
+            mode="wb", dir=str(path.parent), prefix=f".{path.stem}.",
+            suffix=path.suffix, delete=False
+        )
+        staging = Path(handle.name)
+        handle.close()
+        try:
+            writer(staging)
             try:
                 replaced_size = path.stat().st_size
             except OSError:
                 replaced_size = None
-            written_size = os.path.getsize(handle.name)
-            os.replace(handle.name, path)
+            written_size = os.path.getsize(staging)
+            os.replace(staging, path)
         except BaseException:
-            self._remove(Path(handle.name))
+            self._remove(staging)
             raise
         self.counters["stores"] += 1
         if self._bounded:
@@ -149,13 +175,36 @@ class ArtifactStore:
     # ------------------------------------------------------------------ #
     # Typed accessors
     # ------------------------------------------------------------------ #
-    def get_trace(self, digest: str):
-        """Return the stored trace for ``digest`` or ``None``."""
-        return self._get("traces", digest)
+    def get_trace(self, digest: str) -> Optional[TraceBuffer]:
+        """Return the stored trace for ``digest`` or ``None``.
+
+        Hits come back as memory-mapped :class:`TraceBuffer` columns, so a
+        worker that replays a shared trace reads it zero-copy from the page
+        cache rather than unpickling per-access objects.
+        """
+        path = self._path("traces", digest)
+        try:
+            buffer = load_trace_buffer(path, mmap=True)
+        except FileNotFoundError:
+            self.counters["misses"] += 1
+            return None
+        except (ValueError, OSError, EOFError):
+            # Torn writes and stale/foreign schemas both fail the codec's
+            # dtype check; either way the artifact is useless -- drop it so
+            # the rewritten one replaces it.
+            self.counters["corrupt"] += 1
+            self.counters["misses"] += 1
+            self._remove(path)
+            return None
+        self.counters["hits"] += 1
+        self._touch(path)
+        return buffer
 
     def put_trace(self, digest: str, trace) -> Path:
-        """Persist a trace (a list of ``Access`` records)."""
-        return self._put("traces", digest, list(trace))
+        """Persist a trace (a :class:`TraceBuffer` or ``Access`` iterable)."""
+        buffer = TraceBuffer.coerce(trace)
+        return self._publish(self._path("traces", digest),
+                             lambda staging: save_trace(buffer, staging))
 
     def get_result(self, digest: str):
         """Return the stored :class:`SimulationResult` for ``digest`` or ``None``."""
@@ -172,12 +221,20 @@ class ArtifactStore:
         """(mtime, size, path) for every artifact, oldest first."""
         entries = []
         for kind in _KINDS:
-            for path in (self.root / kind).glob("*.pkl"):
-                try:
-                    stat = path.stat()
-                except OSError:  # pragma: no cover - racing eviction
-                    continue
-                entries.append((stat.st_mtime, stat.st_size, path))
+            # Both suffixes are scanned in every kind so stale artifacts from
+            # an older layout (e.g. pickled traces) still age out via LRU.
+            for pattern in ("*.pkl", "*.npy"):
+                for path in (self.root / kind).glob(pattern):
+                    if path.name.startswith("."):
+                        # A dot-prefixed name is a concurrent writer's staging
+                        # file; counting or pruning it would tear an in-flight
+                        # publish (pathlib's glob matches hidden files).
+                        continue
+                    try:
+                        stat = path.stat()
+                    except OSError:  # pragma: no cover - racing eviction
+                        continue
+                    entries.append((stat.st_mtime, stat.st_size, path))
         entries.sort(key=lambda item: (item[0], str(item[2])))
         return entries
 

@@ -5,6 +5,13 @@ trace (once per workload, reused across system configurations so every system
 sees the identical reference stream), instantiate the configured system, run
 the trace and hand back the :class:`SimulationResult`.
 
+Traces are columnar :class:`repro.trace.buffer.TraceBuffer` bundles end to
+end: :func:`build_trace` returns a buffer (it still iterates as boxed
+``Access`` records for legacy callers), :func:`run_trace` feeds buffers --
+or streaming chunk iterators -- straight into the simulator's row loop, and
+:func:`run_workload_streaming` runs arbitrarily long traces at bounded
+memory without ever materializing per-access Python objects.
+
 A small in-process trace cache keeps the benchmark harness fast: Figures 2, 9,
 10 and 13 each run the same six traces through several configurations, and
 regenerating a trace costs more than simulating it.
@@ -13,14 +20,16 @@ regenerating a trace costs more than simulating it.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
+from repro.common.fingerprint import workload_fingerprint
 from repro.common.request import Access
 from repro.sim.config import SystemConfig, named_configs
 from repro.sim.results import SimulationResult
 from repro.sim.system import ServerSystem
+from repro.trace.buffer import DEFAULT_CHUNK_SIZE, TraceBuffer, as_chunk_iterator
 from repro.workloads.catalog import get_workload
-from repro.workloads.generator import generate_trace
+from repro.workloads.generator import generate_trace_buffer, iter_trace_chunks
 from repro.workloads.spec import WorkloadSpec
 
 #: Default trace length used by the benchmark harness; large enough for the
@@ -35,25 +44,33 @@ DEFAULT_SEED = 42
 
 #: Upper bound on cached traces (the cache previously grew without limit).
 #: Eight entries cover the six paper workloads at one geometry with room for
-#: two sweep variants, bounding this cache's residency to a few hundred MB.
-#: The campaign engine keeps its own equally-bounded, content-keyed memo
+#: two sweep variants; columnar buffers keep the bound's residency to tens of
+#: MB.  The campaign engine keeps its own equally-bounded, content-keyed memo
 #: (:mod:`repro.exec.pool`) for the analysis paths; this cache serves the
 #: single-run API and the CLI's run/compare/trace commands.
 TRACE_CACHE_MAX_ENTRIES = 8
 
-_TRACE_CACHE: "OrderedDict[tuple, List[Access]]" = OrderedDict()
+_TRACE_CACHE: "OrderedDict[tuple, TraceBuffer]" = OrderedDict()
+
+TraceLike = Union[TraceBuffer, Sequence[Access], Iterable]
 
 
 def build_trace(workload: Union[str, WorkloadSpec], num_accesses: int = DEFAULT_TRACE_LENGTH,
                 num_cores: int = DEFAULT_NUM_CORES, seed: int = DEFAULT_SEED,
-                use_cache: bool = True) -> List[Access]:
-    """Build (or fetch from the LRU cache) the trace for a workload."""
+                use_cache: bool = True) -> TraceBuffer:
+    """Build (or fetch from the LRU cache) the columnar trace for a workload.
+
+    The cache key is the *content fingerprint* of the spec -- every field,
+    not the display name -- so two specs that share a name but differ in any
+    parameter (e.g. ``with_overrides`` variants) can never serve each other's
+    trace.
+    """
     spec = get_workload(workload) if isinstance(workload, str) else workload
-    key = (spec.name, num_accesses, num_cores, seed)
+    key = (workload_fingerprint(spec), num_accesses, num_cores, seed)
     if use_cache and key in _TRACE_CACHE:
         _TRACE_CACHE.move_to_end(key)
         return _TRACE_CACHE[key]
-    trace = generate_trace(spec, num_accesses, num_cores=num_cores, seed=seed)
+    trace = generate_trace_buffer(spec, num_accesses, num_cores=num_cores, seed=seed)
     if use_cache:
         _TRACE_CACHE[key] = trace
         _TRACE_CACHE.move_to_end(key)
@@ -63,7 +80,7 @@ def build_trace(workload: Union[str, WorkloadSpec], num_accesses: int = DEFAULT_
 
 
 def clear_trace_cache() -> None:
-    """Drop all cached traces (used by tests that tune generator parameters)."""
+    """Drop all cached traces (frees memory between unrelated sweeps)."""
     _TRACE_CACHE.clear()
 
 
@@ -72,11 +89,19 @@ def trace_cache_info() -> Dict[str, int]:
     return {"entries": len(_TRACE_CACHE), "capacity": TRACE_CACHE_MAX_ENTRIES}
 
 
-def run_trace(trace: Iterable[Access], config: SystemConfig,
+def run_trace(trace: TraceLike, config: SystemConfig,
               workload_name: str = "workload",
               warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
-              extra_agents: Optional[Iterable] = None) -> SimulationResult:
+              extra_agents: Optional[Iterable] = None,
+              num_accesses: Optional[int] = None) -> SimulationResult:
     """Run an explicit trace through one system configuration.
+
+    ``trace`` may be a :class:`TraceBuffer`, a sequence of ``Access``
+    records, or an iterator of either (including a stream of ``TraceBuffer``
+    chunks).  Materialized inputs are consumed in place -- never copied;
+    for pure iterators the warmup boundary needs a length, so pass
+    ``num_accesses`` to stay streaming (otherwise the iterator is buffered
+    once into columnar form).
 
     ``extra_agents`` are additional :class:`repro.cache.agent.LLCAgent`
     instances attached to the LLC for this run only -- typically passive
@@ -86,9 +111,32 @@ def run_trace(trace: Iterable[Access], config: SystemConfig,
     system = ServerSystem(config, workload_name=workload_name)
     if extra_agents is not None:
         system.agents.extend(extra_agents)
-    trace = list(trace)
-    warmup = int(len(trace) * warmup_fraction) if warmup_fraction > 0 else 0
+    warmup = 0
+    if warmup_fraction > 0:
+        total = num_accesses
+        if total is None:
+            total = _trace_length(trace)
+        if total is None:
+            # A bare iterator with no declared length: buffer it into
+            # columnar chunks once so the warmup split can be computed.
+            trace = TraceBuffer.concat(list(as_chunk_iterator(trace)))
+            total = len(trace)
+        warmup = int(total * warmup_fraction)
     return system.run(trace, warmup_accesses=warmup)
+
+
+def _trace_length(trace: TraceLike) -> Optional[int]:
+    """Number of accesses in ``trace``, or ``None`` if it must be drained.
+
+    A materialized list of chunks counts *accesses*, not chunks -- ``len()``
+    on a ``[TraceBuffer, ...]`` would silently misplace the warmup boundary.
+    """
+    if isinstance(trace, (list, tuple)) and trace and isinstance(trace[0], TraceBuffer):
+        return sum(len(chunk) for chunk in trace)
+    try:
+        return len(trace)
+    except TypeError:
+        return None
 
 
 def run_workload(workload: Union[str, WorkloadSpec], config: SystemConfig,
@@ -101,6 +149,26 @@ def run_workload(workload: Union[str, WorkloadSpec], config: SystemConfig,
     trace = build_trace(spec, num_accesses, num_cores, seed)
     return run_trace(trace, config, workload_name=spec.name,
                      warmup_fraction=warmup_fraction)
+
+
+def run_workload_streaming(workload: Union[str, WorkloadSpec], config: SystemConfig,
+                           num_accesses: int = DEFAULT_TRACE_LENGTH,
+                           num_cores: int = DEFAULT_NUM_CORES,
+                           seed: int = DEFAULT_SEED,
+                           warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+                           chunk_size: int = DEFAULT_CHUNK_SIZE) -> SimulationResult:
+    """Run one workload at bounded memory: generator chunks feed the simulator.
+
+    The trace is never materialized (neither as objects nor as one large
+    buffer) and nothing is cached, so million-access traces simulate with a
+    memory footprint of one chunk.  Results are bit-identical to
+    :func:`run_workload` for the same arguments.
+    """
+    spec = get_workload(workload) if isinstance(workload, str) else workload
+    chunks = iter_trace_chunks(spec, num_accesses, num_cores=num_cores,
+                               seed=seed, chunk_size=chunk_size)
+    return run_trace(chunks, config, workload_name=spec.name,
+                     warmup_fraction=warmup_fraction, num_accesses=num_accesses)
 
 
 def run_configs(workload: Union[str, WorkloadSpec], configs: Iterable[SystemConfig],

@@ -25,7 +25,7 @@ breakdown the experiments consume.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import List, Optional
 
 from repro.cache.agent import AgentActions, LLCAgent
 from repro.cache.l1 import L1DataCache
@@ -51,6 +51,7 @@ from repro.prefetch.stride import StridePrefetcher
 from repro.sim.config import SystemConfig
 from repro.sim.results import SimulationResult
 from repro.sim.timing import TimingModel
+from repro.trace.buffer import TraceBuffer, as_chunk_iterator
 from repro.workloads.density import RegionDensityProfiler
 
 
@@ -138,8 +139,14 @@ class ServerSystem:
     # ------------------------------------------------------------------ #
     # Trace interpretation
     # ------------------------------------------------------------------ #
-    def run(self, trace: Iterable[Access], warmup_accesses: int = 0) -> SimulationResult:
+    def run(self, trace, warmup_accesses: int = 0) -> SimulationResult:
         """Run a trace to completion and return the collected measurements.
+
+        ``trace`` may be a :class:`repro.trace.buffer.TraceBuffer`, an
+        iterable of :class:`TraceBuffer` chunks (the streaming pipeline), or
+        a sequence/iterator of boxed :class:`Access` records (the legacy
+        shape).  Every shape is interpreted through the same columnar row
+        loop, so the result is identical regardless of how the trace arrives.
 
         ``warmup_accesses`` accesses are simulated first to warm the caches,
         the predictor tables and the DRAM row buffers (mirroring the paper's
@@ -147,15 +154,44 @@ class ServerSystem:
         discarded and only the remainder of the trace is measured.
         """
         processed = 0
-        for access in trace:
-            if warmup_accesses and processed == warmup_accesses:
-                self.begin_measurement()
-            self._step(access)
-            processed += 1
+        measuring = False
+        for chunk in as_chunk_iterator(trace):
+            if not len(chunk):
+                continue
+            if warmup_accesses and not measuring:
+                if processed + len(chunk) > warmup_accesses:
+                    # The measurement boundary falls inside this chunk: warm
+                    # up on the head window, then measure the tail.
+                    split = warmup_accesses - processed
+                    self._run_chunk(chunk[:split])
+                    processed += split
+                    self.begin_measurement()
+                    measuring = True
+                    chunk = chunk[split:]
+                elif processed + len(chunk) == warmup_accesses:
+                    self._run_chunk(chunk)
+                    processed += len(chunk)
+                    self.begin_measurement()
+                    measuring = True
+                    continue
+            self._run_chunk(chunk)
+            processed += len(chunk)
         if warmup_accesses and processed <= warmup_accesses:
             raise ValueError("trace shorter than the requested warmup interval")
         self.memory.drain()
         return self._collect_results()
+
+    def _run_chunk(self, chunk: TraceBuffer) -> None:
+        """Interpret one columnar chunk row by row.
+
+        The columns are bulk-decoded to native Python scalars once per chunk,
+        so the per-access work is exactly the arithmetic of the boxed-object
+        path with no per-access allocation or NumPy scalar unboxing.
+        """
+        cores, pcs, addresses, stores, instructions = chunk.columns_as_lists()
+        step = self._step_fields
+        for i in range(len(cores)):
+            step(cores[i], pcs[i], addresses[i], stores[i], instructions[i])
 
     def begin_measurement(self) -> None:
         """Discard warmup statistics while keeping all architectural state."""
@@ -175,30 +211,37 @@ class ServerSystem:
         self._measurement_start_bus_cycle = self._core_cycle / self._bus_ratio
 
     def _step(self, access: Access) -> None:
+        """Interpret one boxed access (compatibility shim over the row path)."""
+        self._step_fields(access.core, access.pc, access.address,
+                          access.is_store, access.instructions)
+
+    def _step_fields(self, core: int, pc: int, address: int, is_store: bool,
+                     instructions: int) -> None:
         counters = self.counters
         counters.inc("accesses")
-        self._instructions += access.instructions
+        self._instructions += instructions
         self._core_cycle += (
-            access.instructions * self.config.arrival_cpi / self.config.system.num_cores
+            instructions * self.config.arrival_cpi / self.config.system.num_cores
         )
 
-        l1 = self.l1s[access.core]
-        result = l1.access(access.address, access.is_store, access.pc)
+        l1 = self.l1s[core]
+        result = l1.access(address, is_store, pc)
         for victim in result.writebacks:
             self._l1_writeback(victim)
         if result.hit:
             counters.inc("l1_hits")
             return
 
-        self._llc_demand_access(access)
+        self._llc_demand_access(core, pc, address, is_store)
 
     # ------------------------------------------------------------------ #
     # LLC demand path
     # ------------------------------------------------------------------ #
-    def _llc_demand_access(self, access: Access) -> None:
+    def _llc_demand_access(self, core: int, pc: int, address: int,
+                           is_store: bool) -> None:
         config = self.config
         counters = self.counters
-        block = block_address(access.address)
+        block = block_address(address)
 
         self.noc.send(
             MessageType.REQUEST_WITH_PC if config.carries_pc else MessageType.REQUEST
@@ -207,12 +250,12 @@ class ServerSystem:
         resident = self.llc.probe(block, count_traffic=False)
         covered = resident is not None and resident.prefetched and not resident.used
 
-        line = self.llc.access(block, is_write=access.is_store)
+        line = self.llc.access(block, is_write=is_store)
         hit = line is not None
 
-        kind = LLCRequestKind.DEMAND_WRITE if access.is_store else LLCRequestKind.DEMAND_READ
-        request = LLCRequest(core=access.core, pc=access.pc, block_address=block,
-                             kind=kind, is_store=access.is_store)
+        kind = LLCRequestKind.DEMAND_WRITE if is_store else LLCRequestKind.DEMAND_READ
+        request = LLCRequest(core=core, pc=pc, block_address=block,
+                             kind=kind, is_store=is_store)
 
         if self.agents:
             self.noc.send(MessageType.PREDICTOR_NOTIFY)
@@ -222,31 +265,30 @@ class ServerSystem:
 
         if hit:
             counters.inc("llc_hits")
-            if not access.is_store:
+            if not is_store:
                 counters.inc("llc_load_hits")
             if covered:
                 counters.inc("covered_reads")
-                if not access.is_store:
+                if not is_store:
                     counters.inc("covered_loads")
             self.noc.send(MessageType.DATA)
         else:
             counters.inc("llc_misses")
             for agent in self.agents:
                 actions.merge(agent.on_miss(request))
-            self._issue_dram(block, DRAMRequestKind.DEMAND_READ, access.core, access.pc)
+            self._issue_dram(block, DRAMRequestKind.DEMAND_READ, core, pc)
             counters.inc("demand_reads")
-            if access.is_store:
+            if is_store:
                 counters.inc("store_triggered_reads")
             else:
                 counters.inc("load_triggered_reads")
                 counters.inc("load_demand_misses")
-            victim = self.llc.fill(block, dirty=access.is_store,
-                                   pc=access.pc, core=access.core)
+            victim = self.llc.fill(block, dirty=is_store, pc=pc, core=core)
             self.noc.send(MessageType.DATA)
             if victim is not None:
                 self._handle_llc_eviction(victim)
 
-        self._apply_actions(actions, access.core, access.pc)
+        self._apply_actions(actions, core, pc)
 
     def _l1_writeback(self, victim) -> None:
         """Forward a dirty L1 victim to the LLC."""

@@ -26,6 +26,7 @@ reports.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.common.params import SystemParams
 
@@ -53,7 +54,7 @@ class TimingSummary:
 class TimingModel:
     """Turns event counts and measured DRAM latencies into cycles and IPC."""
 
-    def __init__(self, params: SystemParams = None) -> None:
+    def __init__(self, params: Optional[SystemParams] = None) -> None:
         self.params = params if params is not None else SystemParams()
 
     def summarize(self, *, instructions: float, load_demand_misses: float,

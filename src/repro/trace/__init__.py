@@ -1,13 +1,19 @@
 """Trace tooling.
 
-The workload generators (:mod:`repro.workloads`) produce in-memory streams of
-:class:`repro.common.request.Access` records.  This package provides the
-tooling a trace-driven methodology needs around those streams:
+The workload generators (:mod:`repro.workloads`) produce traces as columnar
+:class:`repro.trace.buffer.TraceBuffer` chunks.  This package provides the
+columnar representation itself plus the tooling a trace-driven methodology
+needs around those streams:
 
+* :mod:`repro.trace.buffer` -- the structure-of-arrays trace representation
+  (parallel ``core``/``pc``/``address``/``is_store``/``instructions`` NumPy
+  columns) that flows from the generators through the artifact store into
+  the simulator's row loop.
 * :mod:`repro.trace.io` -- persist traces to disk (a human-readable CSV text
-  format and a compact NumPy ``.npz`` binary format) and load them back, so
-  expensive generator configurations can be produced once and replayed across
-  system configurations or shared between machines.
+  format, a compact ``.npz`` binary format and a memory-mappable structured
+  ``.npy`` format) and load them back, so expensive generator configurations
+  can be produced once and replayed across system configurations or shared
+  between machines.
 * :mod:`repro.trace.stats` -- characterise a trace without simulating it:
   footprint, read/write mix, per-PC and per-region histograms, and a static
   region-density profile comparable to Figure 5.
@@ -19,6 +25,7 @@ tooling a trace-driven methodology needs around those streams:
   behaviour of a run can itself be saved, inspected and replayed.
 """
 
+from repro.trace.buffer import DEFAULT_CHUNK_SIZE, TraceBuffer, as_chunk_iterator
 from repro.trace.capture import LLCTraceRecorder
 from repro.trace.filters import (
     filter_by_address_range,
@@ -30,18 +37,22 @@ from repro.trace.filters import (
     split_by_core,
     truncate,
 )
-from repro.trace.io import load_trace, save_trace
+from repro.trace.io import load_trace, load_trace_buffer, save_trace
 from repro.trace.stats import TraceStatistics, characterize_trace
 
 __all__ = [
+    "DEFAULT_CHUNK_SIZE",
     "LLCTraceRecorder",
+    "TraceBuffer",
     "TraceStatistics",
+    "as_chunk_iterator",
     "characterize_trace",
     "filter_by_address_range",
     "filter_by_core",
     "filter_by_type",
     "interleave_round_robin",
     "load_trace",
+    "load_trace_buffer",
     "remap_cores",
     "sample_systematic",
     "save_trace",

@@ -1,16 +1,25 @@
-"""Trace persistence.
+"""Trace persistence: the single save/load codec for every on-disk format.
 
-Two on-disk formats are supported, selected by file extension:
+Three formats are supported, selected by file extension:
 
 * ``.csv`` / ``.txt`` -- one access per line,
   ``core,pc,address,type,instructions`` with a ``#``-prefixed header.  Easy to
   inspect, diff and generate from external tools.
-* ``.npz`` -- NumPy compressed arrays (one array per field).  Roughly an order
-  of magnitude smaller and faster for the multi-million-access traces the
-  sensitivity studies use.
+* ``.npz`` -- NumPy compressed arrays (one array per
+  :class:`~repro.trace.buffer.TraceBuffer` column).  Roughly an order of
+  magnitude smaller and faster for multi-million-access traces.
+* ``.npy`` -- one structured record array
+  (:data:`repro.trace.buffer.TRACE_RECORD_DTYPE`).  Uncompressed but
+  **memory-mappable**: :func:`load_trace_buffer` with ``mmap=True`` opens the
+  columns zero-copy straight out of the page cache, which is how the
+  campaign artifact store ships traces between worker processes.
 
-Both formats round-trip exactly: ``load_trace(save_trace(trace, path))``
-reproduces the original field-for-field.
+Saving accepts either a columnar :class:`TraceBuffer` or any iterable of
+boxed :class:`Access` records; loading returns a :class:`TraceBuffer` via
+:func:`load_trace_buffer` (the canonical API) or a boxed list via
+:func:`load_trace` (compatibility).  All formats round-trip exactly:
+``load_trace_buffer(save_trace(trace, path))`` reproduces the original
+field-for-field.
 """
 
 from __future__ import annotations
@@ -22,17 +31,21 @@ from typing import Iterable, List, Union
 import numpy as np
 
 from repro.common.request import Access, AccessType
+from repro.trace.buffer import TRACE_FIELDS, TraceBuffer
 
 _CSV_HEADER = ["core", "pc", "address", "type", "instructions"]
 _CSV_SUFFIXES = {".csv", ".txt"}
 _NPZ_SUFFIXES = {".npz"}
+_NPY_SUFFIXES = {".npy"}
+
+TraceLike = Union[TraceBuffer, Iterable[Access]]
 
 
 def _as_path(path: Union[str, Path]) -> Path:
     return path if isinstance(path, Path) else Path(path)
 
 
-def save_trace(trace: Iterable[Access], path: Union[str, Path]) -> Path:
+def save_trace(trace: TraceLike, path: Union[str, Path]) -> Path:
     """Write a trace to ``path``; the format follows the file extension.
 
     Returns the path written, for call chaining.  Raises ``ValueError`` for
@@ -42,32 +55,50 @@ def save_trace(trace: Iterable[Access], path: Union[str, Path]) -> Path:
     if path.suffix in _CSV_SUFFIXES:
         _save_csv(trace, path)
     elif path.suffix in _NPZ_SUFFIXES:
-        _save_npz(trace, path)
+        _save_npz(TraceBuffer.coerce(trace), path)
+    elif path.suffix in _NPY_SUFFIXES:
+        _save_npy(TraceBuffer.coerce(trace), path)
     else:
         raise ValueError(
-            f"unsupported trace format {path.suffix!r}; use .csv, .txt or .npz"
+            f"unsupported trace format {path.suffix!r}; use .csv, .txt, .npz or .npy"
         )
     return path
 
 
+def load_trace_buffer(path: Union[str, Path], mmap: bool = False) -> TraceBuffer:
+    """Read a trace previously written by :func:`save_trace` as a buffer.
+
+    ``mmap=True`` memory-maps the columns instead of reading them (only the
+    ``.npy`` structured layout supports this; other formats load normally).
+    """
+    path = _as_path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"trace file {path} does not exist")
+    if path.suffix in _CSV_SUFFIXES:
+        return TraceBuffer.from_accesses(_load_csv(path))
+    if path.suffix in _NPZ_SUFFIXES:
+        return _load_npz(path)
+    if path.suffix in _NPY_SUFFIXES:
+        return _load_npy(path, mmap=mmap)
+    raise ValueError(
+        f"unsupported trace format {path.suffix!r}; use .csv, .txt, .npz or .npy"
+    )
+
+
 def load_trace(path: Union[str, Path]) -> List[Access]:
-    """Read a trace previously written by :func:`save_trace`."""
+    """Read a trace as boxed :class:`Access` records (compatibility API)."""
     path = _as_path(path)
     if not path.exists():
         raise FileNotFoundError(f"trace file {path} does not exist")
     if path.suffix in _CSV_SUFFIXES:
         return _load_csv(path)
-    if path.suffix in _NPZ_SUFFIXES:
-        return _load_npz(path)
-    raise ValueError(
-        f"unsupported trace format {path.suffix!r}; use .csv, .txt or .npz"
-    )
+    return load_trace_buffer(path).to_accesses()
 
 
 # --------------------------------------------------------------------- #
 # CSV format
 # --------------------------------------------------------------------- #
-def _save_csv(trace: Iterable[Access], path: Path) -> None:
+def _save_csv(trace: TraceLike, path: Path) -> None:
     with path.open("w", newline="") as handle:
         handle.write("# " + ",".join(_CSV_HEADER) + "\n")
         writer = csv.writer(handle)
@@ -104,36 +135,30 @@ def _load_csv(path: Path) -> List[Access]:
 
 
 # --------------------------------------------------------------------- #
-# NPZ format
+# NPZ format (compressed, one array per column)
 # --------------------------------------------------------------------- #
-def _save_npz(trace: Iterable[Access], path: Path) -> None:
-    records = list(trace)
+def _save_npz(buffer: TraceBuffer, path: Path) -> None:
     np.savez_compressed(
-        path,
-        core=np.array([a.core for a in records], dtype=np.int32),
-        pc=np.array([a.pc for a in records], dtype=np.uint64),
-        address=np.array([a.address for a in records], dtype=np.uint64),
-        is_store=np.array([a.is_store for a in records], dtype=bool),
-        instructions=np.array([a.instructions for a in records], dtype=np.int32),
-    )
+        path, **{name: getattr(buffer, name) for name in TRACE_FIELDS})
 
 
-def _load_npz(path: Path) -> List[Access]:
+def _load_npz(path: Path) -> TraceBuffer:
     with np.load(path) as data:
-        required = {"core", "pc", "address", "is_store", "instructions"}
-        missing = required - set(data.files)
+        missing = set(TRACE_FIELDS) - set(data.files)
         if missing:
             raise ValueError(f"trace file {path} is missing arrays: {sorted(missing)}")
-        return [
-            Access(
-                core=int(core),
-                pc=int(pc),
-                address=int(address),
-                type=AccessType.STORE if is_store else AccessType.LOAD,
-                instructions=int(instructions),
-            )
-            for core, pc, address, is_store, instructions in zip(
-                data["core"], data["pc"], data["address"],
-                data["is_store"], data["instructions"],
-            )
-        ]
+        return TraceBuffer(*(data[name] for name in TRACE_FIELDS))
+
+
+# --------------------------------------------------------------------- #
+# NPY format (uncompressed structured records, memory-mappable)
+# --------------------------------------------------------------------- #
+def _save_npy(buffer: TraceBuffer, path: Path) -> None:
+    np.save(path, buffer.to_structured(), allow_pickle=False)
+
+
+def _load_npy(path: Path, mmap: bool = False) -> TraceBuffer:
+    records = np.load(path, mmap_mode="r" if mmap else None, allow_pickle=False)
+    if records.dtype.names is None:
+        raise ValueError(f"trace file {path} does not hold structured records")
+    return TraceBuffer.from_structured(records)

@@ -1,0 +1,84 @@
+"""Parity guard for the columnar trace pipeline refactor.
+
+The acceptance bar of the refactor: for every named paper configuration and
+every workload at the default seed, simulating the trace through the chunked
+columnar path produces a :class:`SimulationResult` *identical* -- full
+content fingerprint, every counter -- to the legacy object-list path.
+"""
+
+import pytest
+
+from repro.common.params import CacheParams, SystemParams
+from repro.exec.campaign import result_fingerprint
+from repro.sim.config import named_configs
+from repro.sim.runner import (
+    DEFAULT_SEED,
+    build_trace,
+    run_trace,
+    run_workload_streaming,
+)
+from repro.workloads.catalog import workload_names
+
+#: Scaled-down LLC so evictions and writebacks occur within a short trace.
+SMALL_SYSTEM = SystemParams().scaled(
+    llc=CacheParams(size_bytes=256 * 1024, associativity=16, hit_latency_cycles=8),
+)
+ACCESSES = 3_000
+CORES = 8
+WARMUP = 0.4
+CHUNK = 256  # deliberately misaligned with the warmup boundary
+
+
+def _small(config):
+    return config.with_overrides(system=SMALL_SYSTEM)
+
+
+@pytest.mark.parametrize("workload", workload_names())
+def test_chunked_columnar_path_matches_object_path(workload):
+    """Six workloads x all named paper configs: bit-identical results."""
+    trace = build_trace(workload, ACCESSES, num_cores=CORES, seed=DEFAULT_SEED)
+    boxed = trace.to_accesses()
+    for name, config in named_configs().items():
+        config = _small(config)
+        legacy = run_trace(boxed, config, workload_name=workload,
+                           warmup_fraction=WARMUP)
+        chunked = run_trace(trace.iter_chunks(CHUNK), config,
+                            workload_name=workload, warmup_fraction=WARMUP,
+                            num_accesses=ACCESSES)
+        assert result_fingerprint(chunked) == result_fingerprint(legacy), (
+            f"columnar path diverged from object path for {workload}/{name}")
+
+
+def test_streaming_generation_matches_materialized_path():
+    """Generator-chunk streaming equals cache-materialized simulation."""
+    config = _small(named_configs(["bump"])["bump"])
+    trace = build_trace("web_search", ACCESSES, num_cores=CORES, seed=DEFAULT_SEED)
+    materialized = run_trace(trace, config, workload_name="web_search",
+                             warmup_fraction=WARMUP)
+    streamed = run_workload_streaming("web_search", config, num_accesses=ACCESSES,
+                                      num_cores=CORES, seed=DEFAULT_SEED,
+                                      warmup_fraction=WARMUP, chunk_size=CHUNK)
+    assert result_fingerprint(streamed) == result_fingerprint(materialized)
+
+
+def test_materialized_chunk_list_counts_accesses_not_chunks():
+    """run_trace on a [TraceBuffer, ...] places the warmup boundary by access count."""
+    config = _small(named_configs(["base_open"])["base_open"])
+    trace = build_trace("web_search", 2_000, num_cores=4, seed=DEFAULT_SEED)
+    reference = run_trace(trace, config, warmup_fraction=0.5)
+    chunk_list = list(trace.iter_chunks(400))
+    from_list = run_trace(chunk_list, config, warmup_fraction=0.5)
+    assert from_list.counters["accesses"] == reference.counters["accesses"] == 1_000
+    assert result_fingerprint(from_list) == result_fingerprint(reference)
+
+
+def test_warmup_boundary_alignment_does_not_matter():
+    """The measurement split lands mid-chunk, at a chunk edge, everywhere."""
+    config = _small(named_configs(["base_open"])["base_open"])
+    trace = build_trace("data_serving", 2_000, num_cores=4, seed=DEFAULT_SEED)
+    reference = run_trace(trace.to_accesses(), config, warmup_fraction=0.5)
+    for chunk_size in (1, 100, 999, 1000, 1001, 2_000):
+        chunked = run_trace(trace.iter_chunks(chunk_size), config,
+                            warmup_fraction=0.5, num_accesses=2_000)
+        assert result_fingerprint(chunked) == result_fingerprint(reference), (
+            f"divergence at chunk_size={chunk_size}")

@@ -35,6 +35,28 @@ def test_build_trace_caches_identical_requests():
     assert third is not first
 
 
+def test_cache_key_fingerprints_spec_parameters_not_just_name():
+    """Two specs sharing a name but differing in any knob never share a trace."""
+    spec = get_workload("web_search")
+    tweaked = spec.with_overrides(coarse_job_fraction=0.9)
+    assert tweaked.name == spec.name
+    base = build_trace(spec, 1000, num_cores=2, seed=1)
+    other = build_trace(tweaked, 1000, num_cores=2, seed=1)
+    assert other is not base
+    assert [a.address for a in other] != [a.address for a in base]
+    # Both entries coexist in the cache and keep serving their own trace.
+    assert build_trace(spec, 1000, num_cores=2, seed=1) is base
+    assert build_trace(tweaked, 1000, num_cores=2, seed=1) is other
+
+
+def test_cache_hit_for_field_identical_spec_copies():
+    """An identical-content copy (with_overrides()) hits the same entry."""
+    spec = get_workload("web_search")
+    first = build_trace(spec, 1000, num_cores=2, seed=1)
+    assert build_trace(spec.with_overrides(), 1000, num_cores=2, seed=1) is first
+    assert trace_cache_info()["entries"] == 1
+
+
 def test_build_trace_can_bypass_cache():
     first = build_trace("web_search", 1000, num_cores=2, seed=1, use_cache=False)
     second = build_trace("web_search", 1000, num_cores=2, seed=1, use_cache=False)

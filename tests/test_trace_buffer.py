@@ -1,0 +1,210 @@
+"""Round-trip equivalence of the columnar trace pipeline.
+
+Covers the tentpole refactor's data-shape conversions: boxed object traces
+<-> :class:`TraceBuffer` columns <-> on-disk ``.npz``/``.npy`` artifacts, the
+chunk-size invariance of the streaming generator, and the artifact store's
+columnar trace format.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.request import Access, AccessType
+from repro.exec.store import ArtifactStore
+from repro.trace.buffer import (
+    DEFAULT_CHUNK_SIZE,
+    TRACE_FIELDS,
+    TraceBuffer,
+    as_chunk_iterator,
+)
+from repro.trace.io import load_trace, load_trace_buffer, save_trace
+from repro.workloads.catalog import get_workload, workload_names
+from repro.workloads.generator import (
+    generate_trace,
+    generate_trace_buffer,
+    iter_trace_chunks,
+    iterate_trace,
+)
+
+
+def _sample_accesses():
+    return [
+        Access(core=0, pc=0x400010, address=0x1234_5678, type=AccessType.LOAD,
+               instructions=3),
+        Access(core=5, pc=0x500020, address=0xdead_bee8, type=AccessType.STORE,
+               instructions=12),
+        Access(core=15, pc=0x600030, address=0, type=AccessType.LOAD,
+               instructions=1),
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Object <-> buffer round trips
+# --------------------------------------------------------------------- #
+def test_accesses_round_trip_through_buffer():
+    accesses = _sample_accesses()
+    buffer = TraceBuffer.from_accesses(accesses)
+    assert len(buffer) == len(accesses)
+    assert buffer.to_accesses() == accesses
+    assert buffer == accesses  # element-wise equality against boxed lists
+    assert list(buffer) == accesses  # iteration boxes identical records
+
+
+def test_buffer_indexing_and_views():
+    buffer = TraceBuffer.from_accesses(_sample_accesses())
+    assert buffer[1].pc == 0x500020
+    assert buffer[1].is_store
+    view = buffer[1:]
+    assert isinstance(view, TraceBuffer)
+    assert len(view) == 2
+    # Slices are zero-copy views over the same column memory.
+    assert view.address.base is not None
+    assert view.to_accesses() == _sample_accesses()[1:]
+
+
+def test_empty_buffer_behaviour():
+    empty = TraceBuffer.empty()
+    assert len(empty) == 0
+    assert empty.to_accesses() == []
+    assert empty.store_fraction == 0.0
+    assert TraceBuffer.concat([]) == empty
+
+
+def test_concat_matches_list_concatenation():
+    accesses = _sample_accesses()
+    first = TraceBuffer.from_accesses(accesses[:1])
+    rest = TraceBuffer.from_accesses(accesses[1:])
+    assert TraceBuffer.concat([first, rest]) == accesses
+
+
+def test_mismatched_column_lengths_rejected():
+    with pytest.raises(ValueError):
+        TraceBuffer(np.zeros(2, dtype=np.int32), np.zeros(3, dtype=np.uint64),
+                    np.zeros(2, dtype=np.uint64), np.zeros(2, dtype=bool),
+                    np.ones(2, dtype=np.int32))
+
+
+def test_from_structured_rejects_wrong_schema():
+    records = np.zeros(2, dtype=[("core", np.int32), ("pc", np.uint64)])
+    with pytest.raises(ValueError):
+        TraceBuffer.from_structured(records)
+
+
+def test_structured_round_trip():
+    buffer = TraceBuffer.from_accesses(_sample_accesses())
+    assert TraceBuffer.from_structured(buffer.to_structured()) == buffer
+
+
+# --------------------------------------------------------------------- #
+# Buffer <-> disk round trips
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("suffix", [".csv", ".npz", ".npy"])
+def test_buffer_round_trips_through_every_format(tmp_path, suffix):
+    buffer = generate_trace_buffer(get_workload("web_search"), 1500,
+                                   num_cores=4, seed=11)
+    path = save_trace(buffer, tmp_path / f"trace{suffix}")
+    assert load_trace_buffer(path) == buffer
+    # The boxed compatibility loader sees the same records.
+    assert load_trace(path) == buffer.to_accesses()
+
+
+def test_npy_round_trip_supports_memory_mapping(tmp_path):
+    buffer = TraceBuffer.from_accesses(_sample_accesses())
+    path = save_trace(buffer, tmp_path / "trace.npy")
+    mapped = load_trace_buffer(path, mmap=True)
+    assert mapped == buffer
+    # Memory-mapped columns are views into the file, not copies.
+    assert isinstance(mapped.core.base, np.memmap) or isinstance(
+        mapped.core, np.memmap)
+
+
+def test_object_trace_saves_through_buffer_codec(tmp_path):
+    accesses = _sample_accesses()
+    for suffix in (".npz", ".npy"):
+        path = save_trace(accesses, tmp_path / f"obj{suffix}")
+        assert load_trace_buffer(path) == accesses
+
+
+# --------------------------------------------------------------------- #
+# Generator chunk invariance
+# --------------------------------------------------------------------- #
+def test_chunked_generation_is_chunk_size_invariant():
+    spec = get_workload("online_analytics")
+    whole = generate_trace_buffer(spec, 5000, num_cores=4, seed=9)
+    for chunk_size in (1, 7, 512, 5000, DEFAULT_CHUNK_SIZE):
+        chunks = list(iter_trace_chunks(spec, 5000, num_cores=4, seed=9,
+                                        chunk_size=chunk_size))
+        assert sum(len(c) for c in chunks) == 5000
+        assert TraceBuffer.concat(chunks) == whole
+
+
+def test_generate_trace_shim_matches_buffer_engine():
+    spec = get_workload("media_streaming")
+    buffer = generate_trace_buffer(spec, 800, num_cores=2, seed=3)
+    assert generate_trace(spec, 800, num_cores=2, seed=3) == buffer.to_accesses()
+    assert list(iterate_trace(spec, 800, num_cores=2, seed=3)) == buffer.to_accesses()
+
+
+@pytest.mark.parametrize("workload", workload_names())
+def test_every_workload_round_trips_object_buffer_npz(tmp_path, workload):
+    """Object trace <-> TraceBuffer <-> .npz identity for all six workloads."""
+    buffer = generate_trace_buffer(get_workload(workload), 600, num_cores=4, seed=42)
+    boxed = buffer.to_accesses()
+    assert TraceBuffer.from_accesses(boxed) == buffer
+    path = save_trace(buffer, tmp_path / f"{workload}.npz")
+    assert load_trace_buffer(path) == buffer
+    assert load_trace(path) == boxed
+
+
+# --------------------------------------------------------------------- #
+# Chunk normalisation
+# --------------------------------------------------------------------- #
+def test_as_chunk_iterator_accepts_every_trace_shape():
+    buffer = generate_trace_buffer(get_workload("web_search"), 300, num_cores=2, seed=1)
+    boxed = buffer.to_accesses()
+    shapes = [
+        buffer,
+        boxed,
+        iter(boxed),
+        buffer.iter_chunks(64),
+        list(buffer.iter_chunks(64)),
+    ]
+    for shape in shapes:
+        assert TraceBuffer.concat(list(as_chunk_iterator(shape, chunk_size=50))) == buffer
+    assert list(as_chunk_iterator([])) == []
+
+
+# --------------------------------------------------------------------- #
+# Artifact store columnar format
+# --------------------------------------------------------------------- #
+def test_store_trace_round_trip_is_columnar_and_mmapped(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    buffer = generate_trace_buffer(get_workload("web_serving"), 700, num_cores=4, seed=2)
+    path = store.put_trace("a" * 32, buffer)
+    assert path.suffix == ".npy"
+    loaded = store.get_trace("a" * 32)
+    assert isinstance(loaded, TraceBuffer)
+    assert loaded == buffer
+
+
+def test_store_rejects_torn_trace_artifact(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    buffer = TraceBuffer.from_accesses(_sample_accesses())
+    path = store.put_trace("b" * 32, buffer)
+    path.write_bytes(path.read_bytes()[:16])
+    assert store.get_trace("b" * 32) is None
+    assert store.counters["corrupt"] == 1
+    assert not path.exists()
+
+
+def test_store_rejects_foreign_schema_trace(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    path = store._path("traces", "c" * 32)
+    np.save(path, np.zeros(4, dtype=[("x", np.int32)]), allow_pickle=False)
+    assert store.get_trace("c" * 32) is None
+    assert store.counters["corrupt"] == 1
+
+
+def test_buffer_fields_constant():
+    # The on-disk schema is frozen; changing it requires a store format bump.
+    assert TRACE_FIELDS == ("core", "pc", "address", "is_store", "instructions")
