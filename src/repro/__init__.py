@@ -64,7 +64,7 @@ from repro.workloads import (
     iter_trace_chunks,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BuMPConfig",

@@ -10,14 +10,20 @@ paper:
   whose access, miss, fill and eviction streams feed the prefetchers, the
   eager-writeback engine and BuMP.
 
-Both levels are built on the same generic
-:class:`repro.cache.set_assoc.SetAssociativeCache` with true-LRU replacement
-and write-back/write-allocate semantics.  Components that want to observe or
-inject LLC traffic implement the :class:`repro.cache.agent.LLCAgent`
-interface.
+Both levels are built on one of two interchangeable, result-identical cache
+array engines (see :mod:`repro.cache.engine`): the flat-array engine
+(:class:`repro.cache.flat.FlatSetAssociativeCache`, the default -- state in
+preallocated NumPy parallel arrays, allocation-free hot path) and the
+original dict-of-lines model
+(:class:`repro.cache.set_assoc.SetAssociativeCache`, selectable with
+``REPRO_CACHE_ENGINE=dict`` as the benchmark baseline).  Components that
+want to observe or inject LLC traffic implement the
+:class:`repro.cache.agent.LLCAgent` interface.
 """
 
 from repro.cache.agent import AgentActions, LLCAgent
+from repro.cache.engine import cache_engine_name, make_cache_array
+from repro.cache.flat import FlatLineView, FlatSetAssociativeCache
 from repro.cache.l1 import L1DataCache
 from repro.cache.llc import LastLevelCache
 from repro.cache.replacement import LRUPolicy, RandomPolicy, ReplacementPolicy
@@ -34,4 +40,8 @@ __all__ = [
     "CacheLine",
     "EvictedLine",
     "SetAssociativeCache",
+    "FlatLineView",
+    "FlatSetAssociativeCache",
+    "cache_engine_name",
+    "make_cache_array",
 ]

@@ -15,21 +15,29 @@ DRAM traffic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 from repro.common.request import LLCRequest
 from repro.cache.set_assoc import EvictedLine
 
 
-@dataclass
 class AgentActions:
-    """Traffic an LLC agent asks the system to generate."""
+    """Traffic an LLC agent asks the system to generate.
 
-    #: Block addresses to fetch from memory into the LLC if not resident.
-    fetch_blocks: List[int] = field(default_factory=list)
-    #: Block addresses whose dirty copies should be eagerly written back.
-    writeback_blocks: List[int] = field(default_factory=list)
+    A plain ``__slots__`` class rather than a dataclass: one bundle is built
+    per notification on the simulator hot path, so construction cost matters.
+    """
+
+    __slots__ = ("fetch_blocks", "writeback_blocks")
+
+    def __init__(self, fetch_blocks: Optional[List[int]] = None,
+                 writeback_blocks: Optional[List[int]] = None) -> None:
+        #: Block addresses to fetch from memory into the LLC if not resident.
+        self.fetch_blocks: List[int] = fetch_blocks if fetch_blocks is not None else []
+        #: Block addresses whose dirty copies should be eagerly written back.
+        self.writeback_blocks: List[int] = (
+            writeback_blocks if writeback_blocks is not None else []
+        )
 
     def merge(self, other: "AgentActions") -> None:
         """Append the actions requested by another agent."""
@@ -40,6 +48,10 @@ class AgentActions:
     def empty(self) -> bool:
         """True when the agent requested no additional traffic."""
         return not self.fetch_blocks and not self.writeback_blocks
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"AgentActions(fetch_blocks={self.fetch_blocks!r}, "
+                f"writeback_blocks={self.writeback_blocks!r})")
 
 
 class LLCAgent:

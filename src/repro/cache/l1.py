@@ -15,7 +15,8 @@ from typing import List, Optional
 
 from repro.common.addressing import block_address
 from repro.common.params import CacheParams
-from repro.cache.set_assoc import EvictedLine, SetAssociativeCache
+from repro.cache.engine import make_cache_array
+from repro.cache.set_assoc import EvictedLine
 
 
 @dataclass
@@ -30,9 +31,10 @@ class L1Result:
 class L1DataCache:
     """One core's private L1 data cache."""
 
-    def __init__(self, params: CacheParams, core: int) -> None:
+    def __init__(self, params: CacheParams, core: int,
+                 engine: Optional[str] = None) -> None:
         self.core = core
-        self._cache = SetAssociativeCache(params, name=f"l1d{core}")
+        self._cache = make_cache_array(params, name=f"l1d{core}", engine=engine)
 
     def access(self, address: int, is_store: bool, pc: int = 0) -> L1Result:
         """Present a load or store to the L1.

@@ -11,24 +11,68 @@ by the evaluation:
 * an operation counter approximating LLC bandwidth consumption, used by the
   on-chip overhead analysis of Figure 12 (demand lookups, fills, prefetch
   fills, eager-writeback probes all consume an LLC port slot).
+
+The backing cache array is engine-selectable (see :mod:`repro.cache.engine`):
+under the flat-array engine the demand path runs through
+:meth:`demand_access`, which fuses the probe and the access into one
+allocation-free call and accumulates the hot counters as plain ints (folded
+into the :class:`StatGroup` lazily on read); under the dict engine every
+method keeps the original object-at-a-time behaviour, preserving it as an
+honest benchmark baseline.  Both engines produce bit-identical statistics.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.common.params import CacheParams
 from repro.common.stats import StatGroup
-from repro.cache.set_assoc import CacheLine, EvictedLine, SetAssociativeCache
+from repro.cache.engine import make_cache_array
+from repro.cache.flat import (
+    FLAG_PREFETCHED,
+    FLAG_USED,
+    FlatSetAssociativeCache,
+)
+from repro.cache.set_assoc import CacheLine, EvictedLine
 
 
 class LastLevelCache:
     """The shared, unified LLC of the simulated CMP."""
 
-    def __init__(self, params: CacheParams) -> None:
+    def __init__(self, params: CacheParams, engine: Optional[str] = None) -> None:
         self.params = params
-        self._cache = SetAssociativeCache(params, name="llc")
-        self.stats = StatGroup("llc")
+        self._cache = make_cache_array(params, name="llc", engine=engine)
+        self._flat = isinstance(self._cache, FlatSetAssociativeCache)
+        self._stats = StatGroup("llc")
+        # Hot counters pending aggregation into ``_stats`` (flat engine only;
+        # the dict engine increments the StatGroup directly, as it always did).
+        for attr, _key in self._PENDING_COUNTERS:
+            setattr(self, attr, 0)
+
+    #: (pending attribute, StatGroup key) pairs flushed by ``stats``.
+    _PENDING_COUNTERS = (
+        ("_p_traffic_ops", "traffic_ops"),
+        ("_p_demand_hits", "demand_hits"),
+        ("_p_demand_misses", "demand_misses"),
+        ("_p_demand_fills", "demand_fills"),
+        ("_p_prefetch_fills", "prefetch_fills"),
+        ("_p_probe_ops", "probe_ops"),
+        ("_p_evictions", "evictions"),
+        ("_p_dirty_evictions", "dirty_evictions"),
+        ("_p_overfetched_blocks", "overfetched_blocks"),
+        ("_p_eager_cleaned_blocks", "eager_cleaned_blocks"),
+    )
+
+    @property
+    def stats(self) -> StatGroup:
+        """Wrapper-level counters (pending hot increments flushed)."""
+        group = self._stats
+        for attr, key in self._PENDING_COUNTERS:
+            value = getattr(self, attr)
+            if value:
+                group.inc(key, value)
+                setattr(self, attr, 0)
+        return group
 
     # ------------------------------------------------------------------ #
     # Demand path
@@ -39,16 +83,37 @@ class LastLevelCache:
         Returns the hit line or ``None`` on a miss.  The caller is responsible
         for fetching the block from memory and calling :meth:`fill`.
         """
-        self.stats.inc("traffic_ops")
+        self._stats.inc("traffic_ops")
         line = self._cache.access(block_address, is_write=is_write)
         if line is None:
-            self.stats.inc("demand_misses")
+            self._stats.inc("demand_misses")
         else:
-            self.stats.inc("demand_hits")
+            self._stats.inc("demand_hits")
             if line.prefetched and not self._counted_as_used(line):
                 # access() already flipped the used bit; nothing more to do.
                 pass
         return line
+
+    def demand_access(self, block_address: int, is_write: bool) -> Tuple[bool, bool]:
+        """Fused probe + demand access: ``(hit, covered)``.
+
+        ``covered`` is true when the block was resident as a
+        prefetched-but-not-yet-used line before this access -- exactly what
+        the split ``probe(...)`` + ``access(...)`` sequence observes, without
+        materializing a line object on the flat engine.
+        """
+        if self._flat:
+            self._p_traffic_ops += 1
+            prior = self._cache.demand_access(block_address, is_write)
+            if prior < 0:
+                self._p_demand_misses += 1
+                return False, False
+            self._p_demand_hits += 1
+            return True, prior & (FLAG_PREFETCHED | FLAG_USED) == FLAG_PREFETCHED
+        resident = self._cache.lookup(block_address)
+        covered = resident is not None and resident.prefetched and not resident.used
+        line = self.access(block_address, is_write)
+        return line is not None, covered
 
     @staticmethod
     def _counted_as_used(line: CacheLine) -> bool:
@@ -57,17 +122,32 @@ class LastLevelCache:
     def fill(self, block_address: int, dirty: bool = False, prefetched: bool = False,
              pc: int = 0, core: int = 0) -> Optional[EvictedLine]:
         """Install a block fetched from memory; return the victim, if any."""
-        self.stats.inc("traffic_ops")
-        self.stats.inc("prefetch_fills" if prefetched else "demand_fills")
+        if self._flat:
+            self._p_traffic_ops += 1
+            if prefetched:
+                self._p_prefetch_fills += 1
+            else:
+                self._p_demand_fills += 1
+        else:
+            self._stats.inc("traffic_ops")
+            self._stats.inc("prefetch_fills" if prefetched else "demand_fills")
         victim = self._cache.fill(
             block_address, dirty=dirty, prefetched=prefetched, pc=pc, core=core
         )
         if victim is not None:
-            self.stats.inc("evictions")
-            if victim.dirty:
-                self.stats.inc("dirty_evictions")
-            if victim.prefetched and not victim.used:
-                self.stats.inc("overfetched_blocks")
+            if self._flat:
+                self._p_evictions += 1
+                if victim.dirty:
+                    self._p_dirty_evictions += 1
+                if victim.prefetched and not victim.used:
+                    self._p_overfetched_blocks += 1
+            else:
+                stats = self._stats
+                stats.inc("evictions")
+                if victim.dirty:
+                    stats.inc("dirty_evictions")
+                if victim.prefetched and not victim.used:
+                    stats.inc("overfetched_blocks")
         return victim
 
     def write_from_l1(self, block_address: int, pc: int = 0, core: int = 0) -> Optional[EvictedLine]:
@@ -77,7 +157,12 @@ class LastLevelCache:
         allocated dirty (the L1 held the only copy).  Returns any LLC victim
         displaced by the allocation.
         """
-        self.stats.inc("traffic_ops")
+        if self._flat:
+            self._p_traffic_ops += 1
+            if self._cache.touch_set_dirty(block_address):
+                return None
+            return self.fill(block_address, dirty=True, pc=pc, core=core)
+        self._stats.inc("traffic_ops")
         line = self._cache.lookup(block_address, touch=True)
         if line is not None:
             line.dirty = True
@@ -99,8 +184,12 @@ class LastLevelCache:
         overhead analysis accounts for.
         """
         if count_traffic:
-            self.stats.inc("traffic_ops")
-            self.stats.inc("probe_ops")
+            if self._flat:
+                self._p_traffic_ops += 1
+                self._p_probe_ops += 1
+            else:
+                self._stats.inc("traffic_ops")
+                self._stats.inc("probe_ops")
         return self._cache.lookup(block_address)
 
     def clean(self, block_address: int, count_traffic: bool = True) -> bool:
@@ -109,11 +198,18 @@ class LastLevelCache:
         Returns True when the block was resident and dirty, i.e. a writeback
         to DRAM was actually generated for it.
         """
+        if self._flat:
+            if count_traffic:
+                self._p_traffic_ops += 1
+            cleaned = self._cache.clean(block_address)
+            if cleaned:
+                self._p_eager_cleaned_blocks += 1
+            return cleaned
         if count_traffic:
-            self.stats.inc("traffic_ops")
+            self._stats.inc("traffic_ops")
         cleaned = self._cache.clean(block_address)
         if cleaned:
-            self.stats.inc("eager_cleaned_blocks")
+            self._stats.inc("eager_cleaned_blocks")
         return cleaned
 
     def invalidate(self, block_address: int) -> Optional[CacheLine]:
@@ -129,16 +225,16 @@ class LastLevelCache:
 
     def dirty_blocks_in_region(self, region_base: int, region_size: int) -> List[int]:
         """Block addresses inside a region that are resident and dirty."""
-        lines = self._cache.resident_blocks_in_region(region_base, region_size)
-        return [line.block_address for line in lines if line.dirty]
+        return self._cache.dirty_blocks_in_region(region_base, region_size)
 
     @property
     def demand_hit_ratio(self) -> float:
         """Fraction of demand accesses that hit in the LLC."""
-        total = self.stats["demand_hits"] + self.stats["demand_misses"]
+        stats = self.stats
+        total = stats["demand_hits"] + stats["demand_misses"]
         if total == 0:
             return 0.0
-        return self.stats["demand_hits"] / total
+        return stats["demand_hits"] / total
 
     @property
     def array_stats(self) -> StatGroup:

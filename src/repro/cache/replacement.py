@@ -17,7 +17,22 @@ from typing import Dict, Optional
 
 
 class ReplacementPolicy(ABC):
-    """Interface implemented by every replacement policy."""
+    """Interface implemented by every replacement policy.
+
+    Policies are written against the dict-backed engine: ``on_access`` may
+    reorder a set's insertion-ordered dict and ``victim`` picks a tag from it.
+    The flat-array engine (:mod:`repro.cache.flat`) models the same ordering
+    with per-set monotonic stamps instead of dict reordering; it consults
+    :attr:`touch_promotes` to know whether an access moves a line to the
+    most-recently-used position (true for LRU, false for random replacement,
+    whose ``on_access`` is a no-op).  When evicting under a non-LRU policy the
+    flat engine rebuilds the stamp-ordered tag dict and calls ``victim`` on
+    it, so a policy's victim choice -- including any internal RNG sequence --
+    is identical under both engines.
+    """
+
+    #: Whether ``on_access`` promotes the touched line to most-recently-used.
+    touch_promotes = True
 
     @abstractmethod
     def on_access(self, cache_set: Dict[int, object], tag: int) -> None:
@@ -46,6 +61,9 @@ class LRUPolicy(ReplacementPolicy):
 
 class RandomPolicy(ReplacementPolicy):
     """Uniform-random replacement, for ablations and tests."""
+
+    #: ``on_access`` keeps no recency state, so sets stay insertion-ordered.
+    touch_promotes = False
 
     def __init__(self, seed: int = 1234) -> None:
         self._rng = random.Random(seed)

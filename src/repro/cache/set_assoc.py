@@ -8,7 +8,6 @@ per-core L1 data caches and the shared LLC are instances of this class.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
 from repro.common.addressing import BLOCK_BITS
@@ -41,16 +40,38 @@ class CacheLine:
         return f"CacheLine(0x{self.block_address:x}, {flags})"
 
 
-@dataclass
 class EvictedLine:
-    """Summary of a line pushed out of the cache by a fill."""
+    """Summary of a line pushed out of the cache by a fill.
 
-    block_address: int
-    dirty: bool
-    prefetched: bool
-    used: bool
-    pc: int = 0
-    core: int = 0
+    A plain ``__slots__`` class: once the LLC is warm nearly every fill
+    evicts, so victim records are built on the simulator hot path.
+    """
+
+    __slots__ = ("block_address", "dirty", "prefetched", "used", "pc", "core")
+
+    def __init__(self, block_address: int, dirty: bool, prefetched: bool,
+                 used: bool, pc: int = 0, core: int = 0) -> None:
+        self.block_address = block_address
+        self.dirty = dirty
+        self.prefetched = prefetched
+        self.used = used
+        self.pc = pc
+        self.core = core
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, EvictedLine):
+            return NotImplemented
+        return (self.block_address == other.block_address
+                and self.dirty == other.dirty
+                and self.prefetched == other.prefetched
+                and self.used == other.used
+                and self.pc == other.pc
+                and self.core == other.core)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"EvictedLine(block_address=0x{self.block_address:x}, "
+                f"dirty={self.dirty}, prefetched={self.prefetched}, "
+                f"used={self.used}, pc={self.pc}, core={self.core})")
 
 
 class SetAssociativeCache:
@@ -189,13 +210,34 @@ class SetAssociativeCache:
 
     def resident_blocks_in_region(self, region_base: int, region_size: int,
                                   block_size: int = 1 << BLOCK_BITS) -> List[CacheLine]:
-        """Return the resident lines whose addresses fall inside a region."""
+        """Return the resident lines whose addresses fall inside a region.
+
+        Probes the candidate sets' dicts directly rather than going through
+        one ``lookup`` method call per block offset (this scan sits on the
+        BuMP bulk-writeback path).
+        """
+        sets = self._sets
+        mask = self._set_mask
         lines = []
         for offset in range(0, region_size, block_size):
-            line = self.lookup(region_base + offset)
+            address = region_base + offset
+            line = sets[(address >> BLOCK_BITS) & mask].get(address)
             if line is not None:
                 lines.append(line)
         return lines
+
+    def dirty_blocks_in_region(self, region_base: int, region_size: int,
+                               block_size: int = 1 << BLOCK_BITS) -> List[int]:
+        """Addresses of resident dirty blocks in a region, address-ascending."""
+        sets = self._sets
+        mask = self._set_mask
+        blocks = []
+        for offset in range(0, region_size, block_size):
+            address = region_base + offset
+            line = sets[(address >> BLOCK_BITS) & mask].get(address)
+            if line is not None and line.dirty:
+                blocks.append(address)
+        return blocks
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -44,7 +44,8 @@ class AssociativeTable(Generic[K, V]):
         ``touch`` promotes the entry to most-recently-used on a hit.
         """
         self.lookups += 1
-        table_set = self._set_for(key)
+        # _set_for inlined: predictor lookups run once per LLC access.
+        table_set = self._sets[hash(key) % self.num_sets]
         value = table_set.get(key)
         if value is None:
             return None

@@ -17,7 +17,7 @@ Three layers of the memory system exchange three kinds of records:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum, IntEnum
 
 
@@ -56,15 +56,34 @@ class LLCRequestKind(Enum):
     WRITEBACK_PROBE = "writeback_probe"
 
 
-@dataclass
 class LLCRequest:
-    """A block request at the shared LLC, carrying prediction metadata."""
+    """A block request at the shared LLC, carrying prediction metadata.
 
-    core: int
-    pc: int
-    block_address: int
-    kind: LLCRequestKind
-    is_store: bool = False
+    A plain ``__slots__`` class: one is built per post-L1 demand access on
+    the simulator hot path.
+    """
+
+    __slots__ = ("core", "pc", "block_address", "kind", "is_store")
+
+    def __init__(self, core: int, pc: int, block_address: int,
+                 kind: LLCRequestKind, is_store: bool = False) -> None:
+        self.core = core
+        self.pc = pc
+        self.block_address = block_address
+        self.kind = kind
+        self.is_store = is_store
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, LLCRequest):
+            return NotImplemented
+        return (self.core == other.core and self.pc == other.pc
+                and self.block_address == other.block_address
+                and self.kind == other.kind and self.is_store == other.is_store)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"LLCRequest(core={self.core}, pc={self.pc}, "
+                f"block_address=0x{self.block_address:x}, kind={self.kind}, "
+                f"is_store={self.is_store})")
 
 
 class DRAMRequestKind(Enum):
@@ -100,6 +119,18 @@ class DRAMRequestKind(Enum):
         )
 
 
+# Scheduling and accounting run once per DRAM transfer, and Enum's
+# Python-level ``__hash__``/property machinery is measurably slow there.
+# Each kind carries a small integer ``code`` so hot paths can classify with
+# one attribute load and a tuple index instead of enum dict lookups.
+for _code, _kind in enumerate(DRAMRequestKind):
+    _kind.code = _code
+
+#: ``KIND_IS_READ[kind.code]`` / ``KIND_IS_DEMAND[kind.code]`` fast tables.
+KIND_IS_READ = tuple(kind.is_read for kind in DRAMRequestKind)
+KIND_IS_DEMAND = tuple(kind.is_demand for kind in DRAMRequestKind)
+
+
 class DRAMCommandKind(Enum):
     """Low-level DRAM commands issued by the memory controller."""
 
@@ -109,23 +140,47 @@ class DRAMCommandKind(Enum):
     PRECHARGE = "precharge"
 
 
-@dataclass
 class DRAMRequest:
-    """One 64-byte transfer between the LLC and main memory."""
+    """One 64-byte transfer between the LLC and main memory.
 
-    block_address: int
-    kind: DRAMRequestKind
-    core: int = 0
-    pc: int = 0
-    #: Core-clock cycle at which the request became visible to the memory
-    #: controller.  Filled in by the system model.
-    arrival_cycle: float = 0.0
-    #: Set by the memory controller: whether the column access hit in an
-    #: already-open row buffer.
-    row_hit: bool = field(default=False, compare=False)
-    #: Set by the memory controller: total latency in memory-bus cycles from
-    #: arrival to completion (queueing + bank timing + burst).
-    latency_cycles: float = field(default=0.0, compare=False)
+    A plain ``__slots__`` class (one is allocated per transfer on the
+    simulator hot path).  Equality compares the identity fields only --
+    ``row_hit`` and ``latency_cycles`` are measurement outputs, matching the
+    ``compare=False`` semantics of the original dataclass.
+    """
+
+    __slots__ = ("block_address", "kind", "core", "pc", "arrival_cycle",
+                 "row_hit", "latency_cycles")
+
+    def __init__(self, block_address: int, kind: DRAMRequestKind, core: int = 0,
+                 pc: int = 0, arrival_cycle: float = 0.0) -> None:
+        self.block_address = block_address
+        self.kind = kind
+        self.core = core
+        self.pc = pc
+        #: Core-clock cycle at which the request became visible to the memory
+        #: controller.  Filled in by the system model.
+        self.arrival_cycle = arrival_cycle
+        #: Set by the memory controller: whether the column access hit in an
+        #: already-open row buffer.
+        self.row_hit = False
+        #: Set by the memory controller: total latency in memory-bus cycles
+        #: from arrival to completion (queueing + bank timing + burst).
+        self.latency_cycles = 0.0
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, DRAMRequest):
+            return NotImplemented
+        return (self.block_address == other.block_address
+                and self.kind == other.kind
+                and self.core == other.core
+                and self.pc == other.pc
+                and self.arrival_cycle == other.arrival_cycle)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"DRAMRequest(block_address=0x{self.block_address:x}, "
+                f"kind={self.kind}, core={self.core}, pc={self.pc}, "
+                f"arrival_cycle={self.arrival_cycle})")
 
     @property
     def is_read(self) -> bool:

@@ -65,10 +65,17 @@ class StatGroup:
         return dict(self._counters)
 
     def reset(self, keys: Iterable[str] = ()) -> None:
-        """Zero the listed counters, or every counter when none are listed."""
+        """Zero the listed counters, or every counter when none are listed.
+
+        Listed counters are zeroed *in place*: a counter that existed before
+        the reset still reports as touched (``key in group`` stays true and
+        ``keys()`` still lists it), it just reads 0.  Counters that were never
+        touched are not created.
+        """
         if keys:
             for key in keys:
-                self._counters.pop(key, None)
+                if key in self._counters:
+                    self._counters[key] = 0.0
         else:
             self._counters.clear()
 

@@ -23,21 +23,25 @@ The mapping works on block-aligned physical addresses and returns a
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.common.addressing import BLOCK_BITS, REGION_BITS
 from repro.common.params import DRAMOrganization
 
 
-@dataclass(frozen=True)
-class DRAMCoordinates:
-    """Location of one cache block inside the memory system."""
+class DRAMCoordinates(NamedTuple):
+    """Location of one cache block inside the memory system.
 
-    channel: int
-    rank: int
-    bank: int
-    row: int
-    column: int
+    A ``NamedTuple`` rather than a frozen dataclass: one is built per DRAM
+    transfer, and tuple construction skips the ``object.__setattr__`` dance
+    frozen dataclasses pay per field.
+    """
+
+    channel: int = 0
+    rank: int = 0
+    bank: int = 0
+    row: int = 0
+    column: int = 0
 
     @property
     def bank_id(self) -> int:

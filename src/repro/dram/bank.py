@@ -35,10 +35,23 @@ class Bank:
     """State of one DRAM bank."""
 
     __slots__ = ("timing", "open_row", "ready_cycle", "activations", "accesses",
-                 "row_hits", "last_activate_cycle")
+                 "row_hits", "last_activate_cycle",
+                 "_tCAS", "_tRCD", "_tRP", "_tRAS", "_tRC", "_tRRD", "_tWR",
+                 "_tRTP", "_burst")
 
     def __init__(self, timing: DDR3Timing) -> None:
         self.timing = timing
+        # Timing scalars hoisted out of the dataclass: ``access`` runs once
+        # per DRAM transfer and pays for every attribute chain it keeps.
+        self._tCAS = timing.tCAS
+        self._tRCD = timing.tRCD
+        self._tRP = timing.tRP
+        self._tRAS = timing.tRAS
+        self._tRC = timing.tRC
+        self._tRRD = timing.tRRD
+        self._tWR = timing.tWR
+        self._tRTP = timing.tRTP
+        self._burst = timing.burst_cycles
         self.open_row: Optional[int] = None
         self.ready_cycle: float = 0.0
         self.activations = 0
@@ -47,7 +60,12 @@ class Bank:
         self.last_activate_cycle: float = -1.0e18
 
     def classify(self, row: int) -> RowBufferOutcome:
-        """How an access to ``row`` would be served right now."""
+        """How an access to ``row`` would be served right now.
+
+        Side-effect-free probe for callers and tests.  :meth:`access` inlines
+        this same classification (it runs once per DRAM transfer); keep the
+        two in sync when changing the row-buffer rules.
+        """
         if self.open_row is None:
             return RowBufferOutcome.MISS
         if self.open_row == row:
@@ -63,44 +81,45 @@ class Bank:
         precharge/activate) and ``data_ready_cycle`` is when the burst can
         begin on the data bus.  The caller arbitrates the shared data bus.
         """
-        timing = self.timing
-        start = max(start_cycle, self.ready_cycle)
-        outcome = self.classify(row)
+        ready = self.ready_cycle
+        start = start_cycle if start_cycle > ready else ready
+        open_row = self.open_row
 
-        if outcome is RowBufferOutcome.HIT:
+        if open_row == row:
+            outcome = RowBufferOutcome.HIT
             issue = start
-        elif outcome is RowBufferOutcome.MISS:
-            activate = max(start, self.last_activate_cycle + timing.tRRD)
-            issue = activate + timing.tRCD
+            self.row_hits += 1
+        elif open_row is None:
+            outcome = RowBufferOutcome.MISS
+            activate = max(start, self.last_activate_cycle + self._tRRD)
+            issue = activate + self._tRCD
             self.activations += 1
             self.last_activate_cycle = activate
         else:
             # Close the open row first; the precharge may not start before
             # tRAS has elapsed since that row's activation, and the new
             # activation must respect tRC row-cycle spacing.
-            precharge_start = max(start, self.last_activate_cycle + timing.tRAS)
-            activate = max(precharge_start + timing.tRP,
-                           self.last_activate_cycle + timing.tRC)
-            issue = activate + timing.tRCD
+            outcome = RowBufferOutcome.CONFLICT
+            last_activate = self.last_activate_cycle
+            precharge_start = max(start, last_activate + self._tRAS)
+            activate = max(precharge_start + self._tRP, last_activate + self._tRC)
+            issue = activate + self._tRCD
             self.activations += 1
             self.last_activate_cycle = activate
 
-        data_ready = issue + timing.tCAS
-
+        data_ready = issue + self._tCAS
         self.accesses += 1
-        if outcome is RowBufferOutcome.HIT:
-            self.row_hits += 1
 
         if close_after:
             # Close-row policy: precharge right after the access completes.
-            recovery = timing.tWR if is_write else timing.tRTP
+            recovery = self._tWR if is_write else self._tRTP
             self.open_row = None
-            self.ready_cycle = data_ready + timing.burst_cycles + recovery + timing.tRP
+            self.ready_cycle = data_ready + self._burst + recovery + self._tRP
         else:
             # Open-row policy: the next column command to this bank can issue
             # one burst later (column-to-column cadence).
             self.open_row = row
-            self.ready_cycle = issue + timing.burst_cycles
+            self.ready_cycle = issue + self._burst
 
         return outcome, issue, data_ready
 

@@ -43,7 +43,12 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.common.request import DRAMRequest
 from repro.dram.address_mapping import DRAMCoordinates
-from repro.dram.scheduler import FRFCFSQueue
+from repro.dram.scheduler import FRFCFSQueue, open_row_key_set, row_state_key
+
+
+def _as_open_set(open_rows) -> set:
+    """Accept either a set of combined keys or a {(rank, bank): row} mapping."""
+    return open_rows if type(open_rows) is set else open_row_key_set(open_rows)
 
 PendingEntry = Tuple[DRAMRequest, DRAMCoordinates]
 
@@ -69,7 +74,7 @@ class FCFSQueue:
         """Append a request to the tail of the queue."""
         self._pending.append((request, coords))
 
-    def pop_next(self, open_rows: dict) -> Optional[PendingEntry]:
+    def pop_next(self, open_rows) -> Optional[PendingEntry]:
         """Serve strictly in arrival order regardless of row-buffer state."""
         if not self._pending:
             return None
@@ -132,17 +137,18 @@ class BankRoundRobinQueue:
         self._rotation_index = (self._rotation_index + 1) % len(self._rotation)
         return core
 
-    def pop_next(self, open_rows: dict) -> Optional[PendingEntry]:
+    def pop_next(self, open_rows) -> Optional[PendingEntry]:
         """Pick the next core in rotation; prefer its row hits, else its oldest."""
         core = self._next_core()
         if core is None:
             return None
         bucket = self._per_core[core]
         limit = min(self.window, len(bucket))
+        open_set = _as_open_set(open_rows)
         chosen = 0
         for index in range(limit):
             coords = bucket[index][1]
-            if open_rows.get((coords.rank, coords.bank)) == coords.row:
+            if row_state_key(coords.rank, coords.bank, coords.row) in open_set:
                 chosen = index
                 break
         entry = bucket.pop(chosen)
@@ -208,18 +214,19 @@ class DrainWhenFullWriteQueue:
         else:
             self.read_queue.push(request, coords)
 
-    def _pop_write(self, open_rows: dict) -> PendingEntry:
+    def _pop_write(self, open_rows) -> PendingEntry:
         # Prefer a write hitting an open row; otherwise take the write whose
         # (rank, bank, row) sorts first so subsequent pops stream the same row.
+        open_set = _as_open_set(open_rows)
         for index, (_, coords) in enumerate(self._writes):
-            if open_rows.get((coords.rank, coords.bank)) == coords.row:
+            if row_state_key(coords.rank, coords.bank, coords.row) in open_set:
                 return self._writes.pop(index)
         best = min(range(len(self._writes)),
                    key=lambda i: (self._writes[i][1].rank, self._writes[i][1].bank,
                                   self._writes[i][1].row, i))
         return self._writes.pop(best)
 
-    def pop_next(self, open_rows: dict) -> Optional[PendingEntry]:
+    def pop_next(self, open_rows) -> Optional[PendingEntry]:
         """Serve reads normally; batch-drain writes past the high watermark."""
         if self._writes and len(self._writes) >= self.high_watermark:
             self._draining = True

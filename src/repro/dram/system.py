@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.common.addressing import BLOCK_BITS
 from repro.common.params import DDR3Timing, DRAMOrganization
 from repro.common.request import DRAMRequest, DRAMRequestKind
 from repro.common.stats import StatGroup
@@ -23,7 +24,8 @@ class MemorySystem:
 
     def __init__(self, timing: DDR3Timing, org: DRAMOrganization,
                  mapping: AddressMapping, page_policy: PagePolicy = PagePolicy.OPEN,
-                 window: int = 64, scheduler: str = "frfcfs") -> None:
+                 window: int = 64, scheduler: str = "frfcfs",
+                 fast_scheduler: bool = True) -> None:
         self.timing = timing
         self.org = org
         self.mapping = mapping
@@ -31,9 +33,14 @@ class MemorySystem:
         self.scheduler = scheduler
         self.controllers = [
             MemoryController(channel, timing, org, mapping, page_policy, window,
-                             scheduler=scheduler)
+                             scheduler=scheduler, fast_scheduler=fast_scheduler)
             for channel in range(org.channels)
         ]
+        # Block -> channel routing reduced to one shift and one mask, so the
+        # per-request path never runs the full mapping arithmetic (the
+        # controller derives the complete coordinates exactly once).
+        self._channel_shift = BLOCK_BITS + mapping.column_low_bits
+        self._channel_mask = org.channels - 1
         self._completed: List[DRAMRequest] = []
 
     # ------------------------------------------------------------------ #
@@ -41,8 +48,12 @@ class MemorySystem:
     # ------------------------------------------------------------------ #
     def enqueue(self, request: DRAMRequest) -> None:
         """Route one block transfer to its channel's controller."""
-        coords = self.mapping.map(request.block_address)
-        self.controllers[coords.channel].enqueue(request)
+        channel = (request.block_address >> self._channel_shift) & self._channel_mask
+        self.controllers[channel].enqueue(request)
+
+    def channel_of(self, block_address: int) -> int:
+        """Channel index serving ``block_address`` under the active mapping."""
+        return (block_address >> self._channel_shift) & self._channel_mask
 
     def drain(self) -> List[DRAMRequest]:
         """Complete all outstanding transfers; return them (all channels)."""

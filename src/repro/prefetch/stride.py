@@ -9,8 +9,6 @@ the prefetcher becomes confident and issues prefetches for the next
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.common.addressing import BLOCK_SIZE
 from repro.common.assoc_table import AssociativeTable
 from repro.common.request import LLCRequest
@@ -18,11 +16,14 @@ from repro.common.stats import StatGroup
 from repro.cache.agent import AgentActions, LLCAgent
 
 
-@dataclass
 class _StrideEntry:
-    last_block: int
-    stride: int = 0
-    confident: bool = False
+    __slots__ = ("last_block", "stride", "confident")
+
+    def __init__(self, last_block: int, stride: int = 0,
+                 confident: bool = False) -> None:
+        self.last_block = last_block
+        self.stride = stride
+        self.confident = confident
 
 
 class StridePrefetcher(LLCAgent):

@@ -93,7 +93,8 @@ def run_trace(trace: TraceLike, config: SystemConfig,
               workload_name: str = "workload",
               warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
               extra_agents: Optional[Iterable] = None,
-              num_accesses: Optional[int] = None) -> SimulationResult:
+              num_accesses: Optional[int] = None,
+              cache_engine: Optional[str] = None) -> SimulationResult:
     """Run an explicit trace through one system configuration.
 
     ``trace`` may be a :class:`TraceBuffer`, a sequence of ``Access``
@@ -107,8 +108,14 @@ def run_trace(trace: TraceLike, config: SystemConfig,
     instances attached to the LLC for this run only -- typically passive
     observers such as :class:`repro.trace.capture.LLCTraceRecorder` or the
     region-density profiler.
+
+    ``cache_engine`` selects the cache array engine (``"flat"`` or
+    ``"dict"``); the default follows ``REPRO_CACHE_ENGINE``.  Both engines
+    produce bit-identical results -- the knob exists for benchmarking and
+    the parity suite.
     """
-    system = ServerSystem(config, workload_name=workload_name)
+    system = ServerSystem(config, workload_name=workload_name,
+                          cache_engine=cache_engine)
     if extra_agents is not None:
         system.agents.extend(extra_agents)
     warmup = 0
@@ -143,12 +150,13 @@ def run_workload(workload: Union[str, WorkloadSpec], config: SystemConfig,
                  num_accesses: int = DEFAULT_TRACE_LENGTH,
                  num_cores: int = DEFAULT_NUM_CORES,
                  seed: int = DEFAULT_SEED,
-                 warmup_fraction: float = DEFAULT_WARMUP_FRACTION) -> SimulationResult:
+                 warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+                 cache_engine: Optional[str] = None) -> SimulationResult:
     """Run one workload through one system configuration."""
     spec = get_workload(workload) if isinstance(workload, str) else workload
     trace = build_trace(spec, num_accesses, num_cores, seed)
     return run_trace(trace, config, workload_name=spec.name,
-                     warmup_fraction=warmup_fraction)
+                     warmup_fraction=warmup_fraction, cache_engine=cache_engine)
 
 
 def run_workload_streaming(workload: Union[str, WorkloadSpec], config: SystemConfig,
@@ -156,7 +164,8 @@ def run_workload_streaming(workload: Union[str, WorkloadSpec], config: SystemCon
                            num_cores: int = DEFAULT_NUM_CORES,
                            seed: int = DEFAULT_SEED,
                            warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
-                           chunk_size: int = DEFAULT_CHUNK_SIZE) -> SimulationResult:
+                           chunk_size: int = DEFAULT_CHUNK_SIZE,
+                           cache_engine: Optional[str] = None) -> SimulationResult:
     """Run one workload at bounded memory: generator chunks feed the simulator.
 
     The trace is never materialized (neither as objects nor as one large
@@ -168,7 +177,8 @@ def run_workload_streaming(workload: Union[str, WorkloadSpec], config: SystemCon
     chunks = iter_trace_chunks(spec, num_accesses, num_cores=num_cores,
                                seed=seed, chunk_size=chunk_size)
     return run_trace(chunks, config, workload_name=spec.name,
-                     warmup_fraction=warmup_fraction, num_accesses=num_accesses)
+                     warmup_fraction=warmup_fraction, num_accesses=num_accesses,
+                     cache_engine=cache_engine)
 
 
 def run_configs(workload: Union[str, WorkloadSpec], configs: Iterable[SystemConfig],

@@ -27,11 +27,15 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+import numpy as np
+
 from repro.cache.agent import AgentActions, LLCAgent
+from repro.cache.engine import cache_engine_name
+from repro.cache.flat import FLAG_DIRTY, FLAG_PREFETCHED, FLAG_USED
 from repro.cache.l1 import L1DataCache
 from repro.cache.llc import LastLevelCache
 from repro.cache.set_assoc import EvictedLine
-from repro.common.addressing import block_address
+from repro.common.addressing import BLOCK_BITS, block_address
 from repro.common.request import (
     Access,
     DRAMRequest,
@@ -55,17 +59,60 @@ from repro.trace.buffer import TraceBuffer, as_chunk_iterator
 from repro.workloads.density import RegionDensityProfiler
 
 
+#: System counters hoisted to plain instance ints on the flat-engine hot path
+#: and folded into the ``counters`` StatGroup once per chunk.
+_HOT_COUNTERS = (
+    ("_h_l1_writebacks", "l1_writebacks"),
+    ("_h_llc_hits", "llc_hits"),
+    ("_h_llc_load_hits", "llc_load_hits"),
+    ("_h_covered_reads", "covered_reads"),
+    ("_h_covered_loads", "covered_loads"),
+    ("_h_llc_misses", "llc_misses"),
+    ("_h_demand_reads", "demand_reads"),
+    ("_h_store_triggered_reads", "store_triggered_reads"),
+    ("_h_load_triggered_reads", "load_triggered_reads"),
+    ("_h_load_demand_misses", "load_demand_misses"),
+    ("_h_llc_evictions", "llc_evictions"),
+    ("_h_demand_writebacks", "demand_writebacks"),
+    ("_h_overfetch_evictions", "overfetch_evictions"),
+)
+
+
 class ServerSystem:
     """One configured instance of the simulated 16-core server."""
 
-    def __init__(self, config: SystemConfig, workload_name: str = "workload") -> None:
+    def __init__(self, config: SystemConfig, workload_name: str = "workload",
+                 cache_engine: Optional[str] = None) -> None:
         self.config = config
         self.workload_name = workload_name
         params = config.system
 
-        self.l1s = [L1DataCache(params.l1d, core) for core in range(params.num_cores)]
-        self.llc = LastLevelCache(params.llc)
+        self.cache_engine = cache_engine_name(cache_engine)
+        self._flat_engine = self.cache_engine == "flat"
+        self.l1s = [L1DataCache(params.l1d, core, engine=self.cache_engine)
+                    for core in range(params.num_cores)]
+        self.llc = LastLevelCache(params.llc, engine=self.cache_engine)
+        #: Raw flat cache arrays, indexed by core (fused-loop fast path).
+        self._l1_arrays = [l1._cache for l1 in self.l1s] if self._flat_engine else None
+        self._llc_array = self.llc._cache if self._flat_engine else None
+        if self._flat_engine:
+            # Per-core L1 state unbundled for the fused row loop: bound dict
+            # probes and the raw stamp/flag buffers, indexed by core.  The
+            # underlying objects live for the system's lifetime, so the bound
+            # references never go stale.  L1s are always LRU (L1DataCache
+            # never takes a policy), which the inlined promote relies on.
+            arrays = self._l1_arrays
+            self._l1_slot_get = [cache._slot_of.get for cache in arrays]
+            self._l1_ticks = [cache._tick for cache in arrays]
+            self._l1_stamps = [cache._stamps_mv for cache in arrays]
+            self._l1_flags = [cache._flags_mv for cache in arrays]
+            self._l1_set_mask = arrays[0]._set_mask
+        self._carries_pc = config.carries_pc
         self.noc = Crossbar(num_cores=params.num_cores)
+        #: instruction count -> core-cycle increment (config-fixed arithmetic).
+        self._cycle_increment_cache = {}
+        for attr, _key in _HOT_COUNTERS:
+            setattr(self, attr, 0)
 
         if config.interleaving == "block":
             mapping = make_block_interleaving(params.dram_org,
@@ -79,12 +126,14 @@ class ServerSystem:
             params.dram_timing, params.dram_org, mapping, config.page_policy,
             window=params.dram_org.transaction_queue_entries,
             scheduler=config.scheduler,
+            fast_scheduler=self._flat_engine,
         )
 
         self.agents: List[LLCAgent] = []
         self.bump: Optional[BuMPPredictor] = None
         self.profiler: Optional[RegionDensityProfiler] = None
         self._build_agents()
+        self._refresh_agent_hooks()
 
         self.counters = StatGroup("system")
         if config.timing_model == "analytic":
@@ -136,6 +185,29 @@ class ServerSystem:
             self.profiler = RegionDensityProfiler(config.bump.region_size_bytes)
             self.agents.append(self.profiler)
 
+    def _refresh_agent_hooks(self) -> None:
+        """Partition agents by which notification hooks they actually override.
+
+        The fast path then skips agents whose hook is the base-class no-op
+        (e.g. the stride prefetcher neither observes misses nor evictions),
+        avoiding a call and an empty-:class:`AgentActions` allocation per
+        event.  Recomputed at the start of every run so agents attached after
+        construction (``run_trace``'s ``extra_agents``) are picked up.
+        """
+        agents = self.agents
+        self._access_agents = [
+            agent for agent in agents
+            if type(agent).on_access is not LLCAgent.on_access
+        ]
+        self._miss_agents = [
+            agent for agent in agents
+            if type(agent).on_miss is not LLCAgent.on_miss
+        ]
+        self._eviction_agents = [
+            agent for agent in agents
+            if type(agent).on_eviction is not LLCAgent.on_eviction
+        ]
+
     # ------------------------------------------------------------------ #
     # Trace interpretation
     # ------------------------------------------------------------------ #
@@ -153,6 +225,7 @@ class ServerSystem:
         SMARTS-style warmed-checkpoint methodology); their events are then
         discarded and only the remainder of the trace is measured.
         """
+        self._refresh_agent_hooks()
         processed = 0
         measuring = False
         for chunk in as_chunk_iterator(trace):
@@ -176,7 +249,7 @@ class ServerSystem:
                     continue
             self._run_chunk(chunk)
             processed += len(chunk)
-        if warmup_accesses and processed <= warmup_accesses:
+        if warmup_accesses and processed < warmup_accesses:
             raise ValueError("trace shorter than the requested warmup interval")
         self.memory.drain()
         return self._collect_results()
@@ -184,18 +257,128 @@ class ServerSystem:
     def _run_chunk(self, chunk: TraceBuffer) -> None:
         """Interpret one columnar chunk row by row.
 
-        The columns are bulk-decoded to native Python scalars once per chunk,
-        so the per-access work is exactly the arithmetic of the boxed-object
-        path with no per-access allocation or NumPy scalar unboxing.
+        The columns are bulk-decoded to native Python scalars once per chunk.
+        Under the flat cache engine the L1 probe is fused straight into the
+        row loop (no per-access result objects, counters in locals); under
+        the dict engine every access walks the original per-access call
+        chain, preserving it as the benchmark baseline.
         """
+        if self._flat_engine:
+            self._run_chunk_flat(chunk)
+            return
         cores, pcs, addresses, stores, instructions = chunk.columns_as_lists()
         step = self._step_fields
         for i in range(len(cores)):
             step(cores[i], pcs[i], addresses[i], stores[i], instructions[i])
 
+    def _run_chunk_flat(self, chunk: TraceBuffer) -> None:
+        """Fused row loop over the flat-array caches.
+
+        Block addresses and L1 set indices are decoded for the whole chunk in
+        two vector ops; the L1-hit case -- the common one for server
+        workloads -- is then fully inlined: one dict probe, one stamp write
+        and (for stores) one flag write, with no method call and no
+        allocation.  ``accesses``/``l1_hits`` live in loop locals, the
+        per-access cycle accumulation runs on a local float (same add
+        sequence as the scalar path, so results stay bit-identical), and
+        everything is flushed into the StatGroups once per chunk.  The
+        architectural state the slow path reads (``_core_cycle``) is synced
+        before every L1 miss, so DRAM arrival timestamps are unchanged.
+
+        The inlined probe mirrors ``FlatSetAssociativeCache.demand_access``
+        under two L1 invariants: replacement is LRU (touch always promotes)
+        and resident lines always have the used bit set (the L1 never fills
+        prefetched blocks), so the prefetch-hit branch cannot fire.
+        """
+        shifted = (chunk.address >> np.uint64(BLOCK_BITS)).astype(np.int64)
+        blocks = (shifted << BLOCK_BITS).tolist()
+        l1_sets = (shifted & self._l1_set_mask).tolist()
+        cores = chunk.core.tolist()
+        pcs = chunk.pc.tolist()
+        stores = chunk.is_store.tolist()
+        instructions = chunk.instructions.tolist()
+        n = len(cores)
+        config = self.config
+        # Per-access cycle increments are memoized by instruction count; each
+        # entry is computed as (instructions * cpi) / cores -- the exact
+        # operation order of _step_fields -- because folding it into one
+        # precomputed factor rounds differently for non-power-of-two core
+        # counts and would break bit-identity with the dict engine.
+        arrival_cpi = config.arrival_cpi
+        num_cores_divisor = config.system.num_cores
+        cycle_of = self._cycle_increment_cache
+        dirty_flag = FLAG_DIRTY
+        l1_arrays = self._l1_arrays
+        slot_get = self._l1_slot_get
+        ticks = self._l1_ticks
+        stamps = self._l1_stamps
+        flags = self._l1_flags
+        demand = self._llc_demand_fast
+        num_cores = len(l1_arrays)
+        hits_by_core = [0] * num_cores
+        misses_by_core = [0] * num_cores
+        core_cycle = self._core_cycle
+        # Integer column sum: exact regardless of order, so summing it
+        # vectorized matches the scalar path's per-access accumulation.
+        instruction_total = int(chunk.instructions.sum(dtype=np.int64))
+        for core, pc, block, set_index, is_store, instructions_i in zip(
+                cores, pcs, blocks, l1_sets, stores, instructions):
+            delta = cycle_of.get(instructions_i)
+            if delta is None:
+                delta = cycle_of[instructions_i] = (
+                    instructions_i * arrival_cpi / num_cores_divisor)
+            core_cycle += delta
+            slot = slot_get[core](block)
+            if slot is not None:
+                # L1 hit: promote to MRU, set the dirty bit on stores.
+                tick_list = ticks[core]
+                tick = tick_list[set_index] + 1
+                tick_list[set_index] = tick
+                stamps[core][slot] = tick
+                if is_store:
+                    flags_mv = flags[core]
+                    line_flags = flags_mv[slot]
+                    if not line_flags & dirty_flag:
+                        flags_mv[slot] = line_flags | dirty_flag
+                hits_by_core[core] += 1
+                continue
+            # L1 miss: allocate (write-allocate), forward a dirty victim,
+            # then take the LLC demand path.
+            misses_by_core[core] += 1
+            self._core_cycle = core_cycle
+            victim = l1_arrays[core].fill_l1(block, is_store, pc, core)
+            if victim is not None:
+                self._l1_writeback_fast(victim)
+            demand(core, pc, block, is_store)
+        self._core_cycle = core_cycle
+        self._instructions += instruction_total
+        l1_hits = 0
+        for core in range(num_cores):
+            hits = hits_by_core[core]
+            if hits:
+                l1_hits += hits
+                l1_arrays[core]._p_hits += hits
+            if misses_by_core[core]:
+                l1_arrays[core]._p_misses += misses_by_core[core]
+        counters = self.counters
+        counters.inc("accesses", n)
+        if l1_hits:
+            counters.inc("l1_hits", l1_hits)
+        self._flush_hot_counters()
+
+    def _flush_hot_counters(self) -> None:
+        """Fold the hoisted per-chunk counter ints into the StatGroup."""
+        counters = self.counters
+        for attr, key in _HOT_COUNTERS:
+            value = getattr(self, attr)
+            if value:
+                counters.inc(key, value)
+                setattr(self, attr, 0)
+
     def begin_measurement(self) -> None:
         """Discard warmup statistics while keeping all architectural state."""
         self.memory.drain()
+        self._flush_hot_counters()
         self.counters.reset()
         self.noc.reset()
         self.llc.stats.reset()
@@ -290,6 +473,77 @@ class ServerSystem:
 
         self._apply_actions(actions, core, pc)
 
+    def _llc_demand_fast(self, core: int, pc: int, block: int,
+                         is_store: bool) -> None:
+        """LLC demand path for the fused flat-engine loop.
+
+        Same event sequence as :meth:`_llc_demand_access`, with the probe and
+        access fused into one call, NOC counters bumped as plain attributes,
+        system counters hoisted to instance ints, and agent action bundles
+        merged only when an agent actually requested traffic.
+        """
+        noc = self.noc
+        if self._carries_pc:
+            noc.n_request_with_pc += 1
+        else:
+            noc.n_request += 1
+
+        # Fused LLC probe + access, wrapper inlined (one call into the flat
+        # array; the wrapper's hot counters are plain attribute bumps).
+        llc = self.llc
+        llc._p_traffic_ops += 1
+        prior = self._llc_array.demand_access(block, is_store)
+        hit = prior >= 0
+
+        actions = None
+        request = None
+        if self.agents:
+            noc.n_predictor_notify += 1
+            kind = LLCRequestKind.DEMAND_WRITE if is_store else LLCRequestKind.DEMAND_READ
+            request = LLCRequest(core, pc, block, kind, is_store)
+            for agent in self._access_agents:
+                bundle = agent.on_access(request, hit)
+                if bundle.fetch_blocks or bundle.writeback_blocks:
+                    if actions is None:
+                        actions = bundle
+                    else:
+                        actions.merge(bundle)
+
+        if hit:
+            llc._p_demand_hits += 1
+            self._h_llc_hits += 1
+            if not is_store:
+                self._h_llc_load_hits += 1
+            if prior & (FLAG_PREFETCHED | FLAG_USED) == FLAG_PREFETCHED:
+                self._h_covered_reads += 1
+                if not is_store:
+                    self._h_covered_loads += 1
+            noc.n_data += 1
+        else:
+            llc._p_demand_misses += 1
+            self._h_llc_misses += 1
+            for agent in self._miss_agents:
+                bundle = agent.on_miss(request)
+                if bundle.fetch_blocks or bundle.writeback_blocks:
+                    if actions is None:
+                        actions = bundle
+                    else:
+                        actions.merge(bundle)
+            self._issue_dram(block, DRAMRequestKind.DEMAND_READ, core, pc)
+            self._h_demand_reads += 1
+            if is_store:
+                self._h_store_triggered_reads += 1
+            else:
+                self._h_load_triggered_reads += 1
+                self._h_load_demand_misses += 1
+            victim = llc.fill(block, dirty=is_store, pc=pc, core=core)
+            noc.n_data += 1
+            if victim is not None:
+                self._handle_llc_eviction_fast(victim)
+
+        if actions is not None:
+            self._apply_actions(actions, core, pc)
+
     def _l1_writeback(self, victim) -> None:
         """Forward a dirty L1 victim to the LLC."""
         self.counters.inc("l1_writebacks")
@@ -297,6 +551,14 @@ class ServerSystem:
         evicted = self.llc.write_from_l1(victim.block_address, victim.pc, victim.core)
         if evicted is not None:
             self._handle_llc_eviction(evicted)
+
+    def _l1_writeback_fast(self, victim) -> None:
+        """Forward a dirty L1 victim to the LLC (flat-engine fast path)."""
+        self._h_l1_writebacks += 1
+        self.noc.n_data += 1
+        evicted = self.llc.write_from_l1(victim.block_address, victim.pc, victim.core)
+        if evicted is not None:
+            self._handle_llc_eviction_fast(evicted)
 
     # ------------------------------------------------------------------ #
     # Eviction handling and agent-generated traffic
@@ -318,6 +580,30 @@ class ServerSystem:
             counters.inc("overfetch_evictions")
 
         self._apply_actions(actions, victim.core, victim.pc)
+
+    def _handle_llc_eviction_fast(self, victim: EvictedLine) -> None:
+        """Eviction handling with hoisted counters (flat-engine fast path)."""
+        self._h_llc_evictions += 1
+
+        actions = None
+        for agent in self._eviction_agents:
+            bundle = agent.on_eviction(victim)
+            if bundle.fetch_blocks or bundle.writeback_blocks:
+                if actions is None:
+                    actions = bundle
+                else:
+                    actions.merge(bundle)
+
+        if victim.dirty:
+            self._h_demand_writebacks += 1
+            self._issue_dram(victim.block_address, DRAMRequestKind.DEMAND_WRITEBACK,
+                             victim.core, victim.pc)
+            self.noc.n_data += 1
+        if victim.prefetched and not victim.used:
+            self._h_overfetch_evictions += 1
+
+        if actions is not None:
+            self._apply_actions(actions, victim.core, victim.pc)
 
     def _apply_actions(self, actions: AgentActions, core: int, pc: int) -> None:
         if actions.empty:
@@ -363,6 +649,7 @@ class ServerSystem:
     # Result assembly
     # ------------------------------------------------------------------ #
     def _collect_results(self) -> SimulationResult:
+        self._flush_hot_counters()
         config = self.config
         counters = self.counters
         dram_stats = self.memory.aggregate_stats()

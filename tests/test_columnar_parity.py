@@ -1,9 +1,13 @@
-"""Parity guard for the columnar trace pipeline refactor.
+"""Parity guards for the columnar trace pipeline and the cache engines.
 
-The acceptance bar of the refactor: for every named paper configuration and
-every workload at the default seed, simulating the trace through the chunked
-columnar path produces a :class:`SimulationResult` *identical* -- full
-content fingerprint, every counter -- to the legacy object-list path.
+Two acceptance bars live here:
+
+* the columnar refactor (PR 2): for every named paper configuration and
+  every workload at the default seed, simulating the trace through the
+  chunked columnar path produces a :class:`SimulationResult` *identical* --
+  full content fingerprint, every counter -- to the legacy object-list path;
+* the flat-array cache engine: for the same matrix, the flat engine's fused
+  hot path produces results bit-identical to the legacy dict engine.
 """
 
 import pytest
@@ -47,6 +51,20 @@ def test_chunked_columnar_path_matches_object_path(workload):
                             num_accesses=ACCESSES)
         assert result_fingerprint(chunked) == result_fingerprint(legacy), (
             f"columnar path diverged from object path for {workload}/{name}")
+
+
+@pytest.mark.parametrize("workload", workload_names())
+def test_flat_engine_matches_dict_engine(workload):
+    """Six workloads x all named paper configs: both cache engines bit-identical."""
+    trace = build_trace(workload, ACCESSES, num_cores=CORES, seed=DEFAULT_SEED)
+    for name, config in named_configs().items():
+        config = _small(config)
+        flat = run_trace(trace, config, workload_name=workload,
+                         warmup_fraction=WARMUP, cache_engine="flat")
+        dict_engine = run_trace(trace, config, workload_name=workload,
+                                warmup_fraction=WARMUP, cache_engine="dict")
+        assert result_fingerprint(flat) == result_fingerprint(dict_engine), (
+            f"flat cache engine diverged from dict engine for {workload}/{name}")
 
 
 def test_streaming_generation_matches_materialized_path():

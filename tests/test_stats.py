@@ -72,6 +72,23 @@ def test_reset_all_and_selected():
     assert list(stats.keys()) == []
 
 
+def test_selective_reset_zeroes_in_place():
+    """reset(keys) must zero counters, not remove them (regression).
+
+    The old implementation popped the listed keys, which flipped
+    ``__contains__`` and ``keys()`` for counters that had been touched.
+    """
+    stats = StatGroup()
+    stats.inc("a", 3)
+    stats.inc("b", 2)
+    stats.reset(["a", "never_touched"])
+    assert stats["a"] == 0.0
+    assert "a" in stats                      # still a touched counter
+    assert list(stats.keys()) == ["a", "b"]  # zeroed in place, order kept
+    assert "never_touched" not in stats      # reset never creates counters
+    assert stats["b"] == 2
+
+
 def test_contains_reflects_touched_counters():
     stats = StatGroup()
     assert "a" not in stats
