@@ -16,6 +16,9 @@ The package is organised as one subpackage per subsystem:
   model, interval timing).
 * :mod:`repro.workloads` -- synthetic server workload generators calibrated
   to the paper's characterisation of CloudSuite and TPC-H behaviour.
+* :mod:`repro.scenario` -- the composable scenario engine: multi-tenant,
+  phased, bursty compositions of the workload generators, compiled to the
+  same columnar trace pipeline.
 * :mod:`repro.trace` -- trace persistence, characterisation, slicing and
   post-L1 stream capture.
 * :mod:`repro.sim` -- the trace-driven full-system model, system
@@ -64,7 +67,7 @@ from repro.workloads import (
     iter_trace_chunks,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "BuMPConfig",

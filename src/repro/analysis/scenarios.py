@@ -1,0 +1,98 @@
+"""BuMP versus baselines across the heterogeneous scenario catalog.
+
+The paper's figures evaluate steady-state homogeneous workloads; this module
+re-asks the headline questions (row-buffer locality recovered, energy per
+access, throughput) under the :mod:`repro.scenario` catalog's multi-tenant,
+bursty and phased traffic.  Sweeps run through the campaign engine, so they
+parallelise across workers and resume from the artifact store exactly like
+the figure experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exec.campaign import run_campaign
+from repro.exec.jobs import ScenarioGrid
+from repro.exec.progress import CampaignProgress
+from repro.exec.store import ArtifactStore, default_store
+from repro.scenario.catalog import scenario_names
+from repro.sim.runner import DEFAULT_SEED
+
+__all__ = [
+    "scenario_comparison",
+    "scenario_uplift",
+]
+
+#: Summary metrics reported per (scenario, configuration) cell.
+COMPARISON_METRICS = (
+    "row_buffer_hit_ratio",
+    "read_coverage",
+    "write_coverage",
+    "energy_per_access_nj",
+    "throughput_ipc",
+)
+
+
+def scenario_comparison(scenarios: Optional[Sequence[str]] = None,
+                        config_names: Sequence[str] = ("base_open", "bump"),
+                        scale: float = 1.0,
+                        seed: int = DEFAULT_SEED,
+                        warmup_fraction: float = 0.5,
+                        workers: int = 1,
+                        store: Optional[ArtifactStore] = None,
+                        progress: Optional[CampaignProgress] = None
+                        ) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Run every scenario under every configuration; tabulate the summaries.
+
+    Returns ``{scenario: {configuration: {metric: value}}}`` over
+    :data:`COMPARISON_METRICS`.  ``scenarios`` defaults to the full shipped
+    catalog; ``scale`` sizes the runs (pass e.g. ``0.05`` for a laptop-speed
+    sweep).  With ``workers > 1`` the grid fans out across processes, and
+    with a store (or ``REPRO_ARTIFACT_DIR`` set) re-runs complete from disk.
+    """
+    names = list(scenarios) if scenarios is not None else scenario_names()
+    grid = ScenarioGrid(scenarios=names, configs=list(config_names),
+                        seeds=[seed], scale=scale,
+                        warmup_fraction=warmup_fraction)
+    outcome = run_campaign(grid.expand(),
+                           store=store if store is not None else default_store(),
+                           workers=workers, progress=progress)
+    table: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for job_outcome in outcome.outcomes:
+        scenario = job_outcome.job.workload.name
+        config = job_outcome.job.config.name
+        summary = job_outcome.result.summary()
+        table.setdefault(scenario, {})[config] = {
+            metric: summary[metric] for metric in COMPARISON_METRICS
+        }
+    return table
+
+
+def scenario_uplift(table: Dict[str, Dict[str, Dict[str, float]]],
+                    baseline: str = "base_open",
+                    treatment: str = "bump") -> Dict[str, Dict[str, float]]:
+    """Per-scenario deltas of ``treatment`` over ``baseline``.
+
+    For each scenario of a :func:`scenario_comparison` table, reports the
+    row-buffer-hit-ratio uplift (absolute, percentage points), the
+    energy-per-access reduction (relative) and the IPC speedup (relative) --
+    the three axes the paper's Figures 2, 9 and 10 use.
+    """
+    uplift: Dict[str, Dict[str, float]] = {}
+    for scenario, by_config in table.items():
+        if baseline not in by_config or treatment not in by_config:
+            continue
+        base = by_config[baseline]
+        treat = by_config[treatment]
+        energy_base = base["energy_per_access_nj"]
+        ipc_base = base["throughput_ipc"]
+        uplift[scenario] = {
+            "row_buffer_hit_uplift": (treat["row_buffer_hit_ratio"]
+                                      - base["row_buffer_hit_ratio"]),
+            "energy_reduction": (1.0 - treat["energy_per_access_nj"] / energy_base
+                                 if energy_base else 0.0),
+            "ipc_speedup": (treat["throughput_ipc"] / ipc_base
+                            if ipc_base else 0.0),
+        }
+    return uplift

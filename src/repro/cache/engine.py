@@ -29,6 +29,14 @@ from repro.cache.flat import FlatSetAssociativeCache
 from repro.cache.replacement import ReplacementPolicy
 from repro.cache.set_assoc import SetAssociativeCache
 
+__all__ = [
+    "DEFAULT_ENGINE",
+    "ENGINES",
+    "ENGINE_ENV_VAR",
+    "cache_engine_name",
+    "make_cache_array",
+]
+
 #: Environment variable consulted when no explicit engine is requested.
 ENGINE_ENV_VAR = "REPRO_CACHE_ENGINE"
 

@@ -2,13 +2,22 @@
 
 :class:`FlatSetAssociativeCache` is a drop-in replacement for the dict-backed
 :class:`repro.cache.set_assoc.SetAssociativeCache` that keeps all cache state
-in preallocated NumPy parallel arrays instead of per-line Python objects:
+in preallocated NumPy parallel arrays instead of per-line Python objects.
 
-* ``tags[num_sets, ways]`` -- resident block addresses (``int64``, -1 empty);
-* ``flags[num_sets, ways]`` -- packed dirty/prefetched/used bits (``uint8``);
-* ``pcs``/``cores`` -- the prediction metadata the dict engine kept on each
+**State-array layout.**  Five dense ``[num_sets, ways]`` arrays hold the
+whole cache; a line is the slot ``(set_index, way)`` across all five, and
+scalar code addresses it through the flattened index
+``slot = set_index * ways + way``:
+
+* ``tags`` (``int64``) -- resident block address of each slot, ``-1`` when
+  the slot is empty;
+* ``flags`` (``uint8``) -- packed per-line status bits: ``FLAG_DIRTY`` (bit
+  0), ``FLAG_PREFETCHED`` (bit 1), ``FLAG_USED`` (bit 2);
+* ``pcs`` (``int64``) / ``cores`` (``int32``) -- the prediction metadata
+  (requesting PC and core) the dict engine kept on each
   :class:`~repro.cache.set_assoc.CacheLine`;
-* ``stamps[num_sets, ways]`` -- a per-set monotonic recency stamp.
+* ``stamps`` (``int64``) -- a per-set monotonic recency stamp (the set's
+  insertion/touch tick at the time the slot was last written).
 
 The stamp array reproduces the dict engine's insertion-ordered-dict LRU
 *exactly*: every insertion (and, for promoting policies, every touch) writes
@@ -42,6 +51,14 @@ from repro.common.params import CacheParams
 from repro.common.stats import StatGroup
 from repro.cache.replacement import LRUPolicy, ReplacementPolicy
 from repro.cache.set_assoc import CacheLine, EvictedLine
+
+__all__ = [
+    "FLAG_DIRTY",
+    "FLAG_PREFETCHED",
+    "FLAG_USED",
+    "FlatLineView",
+    "FlatSetAssociativeCache",
+]
 
 #: Packed per-line flag bits (``flags`` array).
 FLAG_DIRTY = 1

@@ -13,6 +13,8 @@ Command                Purpose
 ``compare``            simulate one workload under several configurations
 ``campaign``           run a (workload x system x seed) grid across worker
                        processes, resumable via the on-disk artifact store
+``scenario``           list/describe/run the multi-tenant scenario catalog
+                       (``repro scenario list|describe|run``)
 ``experiment``         regenerate one paper figure/table and print its rows
 ``scaling``            print the Section VI storage-scaling tables
 ``trace``              generate a workload trace and save it to disk
@@ -37,6 +39,8 @@ from repro.exec.campaign import run_campaign, verify_parity
 from repro.exec.jobs import JobGrid
 from repro.exec.progress import ConsoleProgress, NullProgress
 from repro.exec.store import ArtifactStore, default_store
+from repro.scenario.catalog import get_scenario, scenario_names
+from repro.scenario.runner import run_scenario
 from repro.sim.config import extended_configs, named_configs
 from repro.sim.runner import build_trace, run_trace
 from repro.trace.io import save_trace
@@ -210,6 +214,55 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scenario_list(args: argparse.Namespace) -> int:
+    rows = []
+    for name in scenario_names():
+        scenario = get_scenario(name)
+        rows.append([name, str(len(scenario.phases)),
+                     str(scenario.total_accesses),
+                     ",".join(scenario.tenant_names)])
+    _print(format_table(rows, headers=["name", "phases", "accesses", "tenants"]))
+    return 0
+
+
+def _resolve_scenario(name: str, scale: float):
+    try:
+        return get_scenario(name, scale=scale)
+    except KeyError:
+        known = ", ".join(scenario_names())
+        raise SystemExit(f"unknown scenario {name!r}; known scenarios: {known}")
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
+def cmd_scenario_describe(args: argparse.Namespace) -> int:
+    scenario = _resolve_scenario(args.name, args.scale)
+    _print(f"{scenario.name}: {scenario.description}")
+    _print(f"{scenario.num_cores} cores, {scenario.total_accesses} accesses, "
+           f"{len(scenario.phases)} phase(s)")
+    _print(format_table(scenario.describe(),
+                        headers=["phase", "accesses", "intensity", "tenants",
+                                 "bursts", "idle cores"]))
+    return 0
+
+
+def cmd_scenario_run(args: argparse.Namespace) -> int:
+    scenario = _resolve_scenario(args.name, args.scale)
+    config = _resolve_config(args.system)
+    if args.chunk_size < 1:
+        raise SystemExit("--chunk-size must be positive")
+    if not 0.0 <= args.warmup < 1.0:
+        raise SystemExit("--warmup must be in [0, 1)")
+    result = run_scenario(scenario, config, seed=args.seed,
+                          warmup_fraction=args.warmup,
+                          chunk_size=args.chunk_size,
+                          cache_engine=args.engine)
+    _print(f"{scenario.name} ({scenario.total_accesses} accesses) "
+           f"under {config.name}")
+    _print(format_table(_result_rows(result), headers=["metric", "value"]))
+    return 0
+
+
 def _render_experiment(name: str, table) -> str:
     if name == "figure11":
         rows = [[f"{region}B", f"{threshold:.0%}", f"{value:.3f}"]
@@ -358,6 +411,40 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--quiet", action="store_true",
                           help="suppress per-job progress lines")
     campaign.set_defaults(handler=cmd_campaign)
+
+    scenario = subparsers.add_parser(
+        "scenario",
+        help="multi-tenant scenario catalog (list, describe, run)")
+    scenario_actions = scenario.add_subparsers(dest="action", required=True)
+
+    scenario_list = scenario_actions.add_parser(
+        "list", help="list the shipped scenarios")
+    scenario_list.set_defaults(handler=cmd_scenario_list)
+
+    scenario_describe = scenario_actions.add_parser(
+        "describe", help="print a scenario's phase/tenant/burst table")
+    scenario_describe.add_argument("name", help="scenario name")
+    scenario_describe.add_argument("--scale", type=float, default=1.0,
+                                   help="phase-length scale factor")
+    scenario_describe.set_defaults(handler=cmd_scenario_describe)
+
+    scenario_run = scenario_actions.add_parser(
+        "run", help="simulate one scenario, streaming at bounded memory")
+    scenario_run.add_argument("name", help="scenario name")
+    scenario_run.add_argument("--system", default="bump",
+                              help="system configuration name")
+    scenario_run.add_argument("--seed", type=int, default=42,
+                              help="generator seed")
+    scenario_run.add_argument("--scale", type=float, default=1.0,
+                              help="phase-length scale factor")
+    scenario_run.add_argument("--warmup", type=float, default=0.5,
+                              help="fraction of the trace used for warmup")
+    scenario_run.add_argument("--chunk-size", type=int, default=65_536,
+                              help="streaming chunk granularity (accesses)")
+    scenario_run.add_argument("--engine", choices=["flat", "dict"], default=None,
+                              help="cache engine (default: REPRO_CACHE_ENGINE "
+                                   "or flat)")
+    scenario_run.set_defaults(handler=cmd_scenario_run)
 
     experiment = subparsers.add_parser("experiment",
                                        help="regenerate one paper figure/table")

@@ -49,7 +49,8 @@ class MemoryController:
     def __init__(self, channel_id: int, timing: DDR3Timing, org: DRAMOrganization,
                  mapping: AddressMapping, page_policy: PagePolicy = PagePolicy.OPEN,
                  window: int = 64, scheduler: str = "frfcfs",
-                 fast_scheduler: bool = True) -> None:
+                 fast_scheduler: bool = True,
+                 record_completed: bool = True) -> None:
         self.channel_id = channel_id
         self.timing = timing
         self.org = org
@@ -94,6 +95,13 @@ class MemoryController:
         self.bus_free_cycle = 0.0
         #: Cycle of the last completed transfer (elapsed busy span of the channel).
         self.last_completion_cycle = 0.0
+        #: With ``record_completed`` every served request is retained so
+        #: :meth:`drain` can hand the caller per-request outcomes (unit tests
+        #: and trace capture).  The simulator turns it off: all measurements
+        #: fold into the scalar counters at serve time, and retaining one
+        #: object per transfer would grow memory linearly with trace length
+        #: (the streaming paths promise a bounded footprint).
+        self._record_completed = record_completed
         self._completed: List[DRAMRequest] = []
         self.reset_counters()
 
@@ -163,7 +171,11 @@ class MemoryController:
             self._drain(queue.window)
 
     def drain(self) -> List[DRAMRequest]:
-        """Serve every pending request and return all newly completed ones."""
+        """Serve every pending request and return all newly completed ones.
+
+        The returned list is empty when the controller was built with
+        ``record_completed=False`` (the statistics counters are unaffected).
+        """
         self._drain(len(self.queue))
         completed, self._completed = self._completed, []
         return completed
@@ -269,7 +281,8 @@ class MemoryController:
             else:
                 service = timing.row_conflict_latency
             self._demand_read_service += service
-        self._completed.append(request)
+        if self._record_completed:
+            self._completed.append(request)
 
     # ------------------------------------------------------------------ #
     # Derived metrics

@@ -25,7 +25,8 @@ class MemorySystem:
     def __init__(self, timing: DDR3Timing, org: DRAMOrganization,
                  mapping: AddressMapping, page_policy: PagePolicy = PagePolicy.OPEN,
                  window: int = 64, scheduler: str = "frfcfs",
-                 fast_scheduler: bool = True) -> None:
+                 fast_scheduler: bool = True,
+                 record_completed: bool = True) -> None:
         self.timing = timing
         self.org = org
         self.mapping = mapping
@@ -33,7 +34,8 @@ class MemorySystem:
         self.scheduler = scheduler
         self.controllers = [
             MemoryController(channel, timing, org, mapping, page_policy, window,
-                             scheduler=scheduler, fast_scheduler=fast_scheduler)
+                             scheduler=scheduler, fast_scheduler=fast_scheduler,
+                             record_completed=record_completed)
             for channel in range(org.channels)
         ]
         # Block -> channel routing reduced to one shift and one mask, so the
@@ -41,7 +43,6 @@ class MemorySystem:
         # controller derives the complete coordinates exactly once).
         self._channel_shift = BLOCK_BITS + mapping.column_low_bits
         self._channel_mask = org.channels - 1
-        self._completed: List[DRAMRequest] = []
 
     # ------------------------------------------------------------------ #
     # Request flow
@@ -56,11 +57,15 @@ class MemorySystem:
         return (block_address >> self._channel_shift) & self._channel_mask
 
     def drain(self) -> List[DRAMRequest]:
-        """Complete all outstanding transfers; return them (all channels)."""
+        """Complete all outstanding transfers; return them (all channels).
+
+        The returned list holds only the transfers completed since the last
+        drain (empty when the controllers do not record completions); the
+        aggregate counters are unaffected either way.
+        """
         completed: List[DRAMRequest] = []
         for controller in self.controllers:
             completed.extend(controller.drain())
-        self._completed.extend(completed)
         return completed
 
     # ------------------------------------------------------------------ #

@@ -4,8 +4,9 @@ The reproduction's figures, ablations and design-space sweeps are all grids
 of independent (workload x system configuration x seed) simulations.  This
 package turns those grids into *campaigns*:
 
-* :mod:`repro.exec.jobs` -- declarative job grids and the content
-  fingerprints that give every simulation a stable identity;
+* :mod:`repro.exec.jobs` -- declarative job grids (workload grids and
+  scenario grids) and the content fingerprints that give every simulation a
+  stable identity;
 * :mod:`repro.exec.store` -- a content-addressed on-disk cache of traces and
   :class:`~repro.sim.results.SimulationResult` bundles, so re-runs and
   crashed sweeps resume for free;
@@ -40,8 +41,10 @@ from repro.exec.campaign import (
 from repro.exec.jobs import (
     JobGrid,
     JobSpec,
+    ScenarioGrid,
     config_fingerprint,
     expand_grid,
+    expand_scenario_grid,
     fingerprint,
     workload_fingerprint,
 )
@@ -66,9 +69,11 @@ __all__ = [
     "NullProgress",
     "ParityError",
     "RecordingProgress",
+    "ScenarioGrid",
     "config_fingerprint",
     "default_store",
     "expand_grid",
+    "expand_scenario_grid",
     "fingerprint",
     "result_fingerprint",
     "run_campaign",

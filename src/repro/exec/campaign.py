@@ -36,6 +36,18 @@ from repro.exec.progress import (
 from repro.exec.store import ArtifactStore
 from repro.sim.results import SimulationResult
 
+__all__ = [
+    "Campaign",
+    "CampaignError",
+    "CampaignResult",
+    "JobOutcome",
+    "ParityError",
+    "result_fingerprint",
+    "run_campaign",
+    "run_job",
+    "verify_parity",
+]
+
 
 class CampaignError(RuntimeError):
     """One or more campaign jobs failed."""

@@ -25,6 +25,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro import __version__ as _PACKAGE_VERSION
 from repro.common.fingerprint import canonical_data, fingerprint, workload_fingerprint
+from repro.scenario.catalog import get_scenario
+from repro.scenario.spec import Scenario
 from repro.sim.config import SystemConfig, named_configs
 from repro.sim.runner import (
     DEFAULT_NUM_CORES,
@@ -43,8 +45,9 @@ from repro.workloads.spec import WorkloadSpec
 # :mod:`repro.common.fingerprint` (the runner's trace cache keys on them
 # too); they are re-exported here as the historical public surface.
 __all__ = [
-    "JobGrid", "JobSpec", "canonical_data", "config_fingerprint",
-    "expand_grid", "fingerprint", "workload_fingerprint",
+    "JobGrid", "JobSpec", "ScenarioGrid", "canonical_data",
+    "config_fingerprint", "expand_grid", "expand_scenario_grid",
+    "fingerprint", "workload_fingerprint",
 ]
 
 
@@ -67,9 +70,18 @@ def config_fingerprint(config: SystemConfig) -> str:
 # --------------------------------------------------------------------- #
 @dataclass
 class JobSpec:
-    """One (workload, configuration, trace geometry, seed) simulation."""
+    """One (workload, configuration, trace geometry, seed) simulation.
 
-    workload: WorkloadSpec
+    ``workload`` is usually a :class:`WorkloadSpec`, but a
+    :class:`repro.scenario.spec.Scenario` slots in unchanged: both carry a
+    ``name``, both reduce canonically for fingerprinting, and the worker
+    pool dispatches trace construction on the type.  Scenario jobs must
+    declare the scenario's own geometry (``num_accesses ==
+    scenario.total_accesses``, ``num_cores == scenario.num_cores``) --
+    :class:`ScenarioGrid` takes care of that.
+    """
+
+    workload: Union[WorkloadSpec, Scenario]
     config: SystemConfig
     num_accesses: int = DEFAULT_TRACE_LENGTH
     num_cores: int = DEFAULT_NUM_CORES
@@ -79,6 +91,15 @@ class JobSpec:
     def __post_init__(self) -> None:
         if isinstance(self.workload, str):
             self.workload = get_workload(self.workload)
+        if isinstance(self.workload, Scenario):
+            if self.num_accesses != self.workload.total_accesses:
+                raise ValueError(
+                    f"scenario job length {self.num_accesses} disagrees with "
+                    f"the scenario's {self.workload.total_accesses} accesses")
+            if self.num_cores != self.workload.num_cores:
+                raise ValueError(
+                    f"scenario job cores {self.num_cores} disagree with the "
+                    f"scenario's {self.workload.num_cores}")
         if self.num_accesses < 1:
             raise ValueError("num_accesses must be positive")
         if self.num_cores < 1:
@@ -194,6 +215,65 @@ class JobGrid:
 
     def __len__(self) -> int:
         return len(self.expand())
+
+
+@dataclass
+class ScenarioGrid:
+    """Cartesian product of scenarios x configurations x seeds.
+
+    The scenario analogue of :class:`JobGrid`: scenarios are resolved from
+    the catalog by name (scaled by ``scale``) or passed as ready
+    :class:`~repro.scenario.spec.Scenario` instances, and each cell's trace
+    geometry is taken from the scenario itself.  The expanded
+    :class:`JobSpec` list runs through the unchanged campaign engine --
+    store hits, sharding and the parity guard all behave exactly as for
+    single-workload grids, because a compiled scenario is just a trace.
+    """
+
+    scenarios: Sequence[Union[str, Scenario]]
+    configs: Sequence[ConfigLike]
+    seeds: Sequence[int] = (DEFAULT_SEED,)
+    scale: float = 1.0
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION
+
+    def expand(self, dedup: bool = True) -> List[JobSpec]:
+        """Materialise the grid as a flat, optionally deduplicated, job list."""
+        jobs: List[JobSpec] = []
+        seen: Dict[str, None] = {}
+        configs = _resolve_configs(self.configs)
+        for scenario in self.scenarios:
+            resolved = get_scenario(scenario, scale=self.scale)
+            for config in configs:
+                for seed in self.seeds:
+                    job = JobSpec(
+                        workload=resolved,
+                        config=config,
+                        num_accesses=resolved.total_accesses,
+                        num_cores=resolved.num_cores,
+                        seed=seed,
+                        warmup_fraction=self.warmup_fraction,
+                    )
+                    if dedup:
+                        digest = job.result_fingerprint()
+                        if digest in seen:
+                            continue
+                        seen[digest] = None
+                    jobs.append(job)
+        return jobs
+
+    def __len__(self) -> int:
+        return len(self.expand())
+
+
+def expand_scenario_grid(scenarios: Sequence[Union[str, Scenario]],
+                         configs: Sequence[ConfigLike],
+                         seeds: Sequence[int] = (DEFAULT_SEED,),
+                         scale: float = 1.0,
+                         warmup_fraction: float = DEFAULT_WARMUP_FRACTION
+                         ) -> List[JobSpec]:
+    """Functional shorthand for ``ScenarioGrid(...).expand()``."""
+    return ScenarioGrid(scenarios, configs, seeds, scale,
+                        warmup_fraction).expand()
 
 
 def expand_grid(workloads: Sequence[WorkloadLike],

@@ -23,10 +23,22 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.exec.jobs import JobSpec
 from repro.exec.store import ArtifactStore
+from repro.scenario.compiler import generate_scenario_buffer
+from repro.scenario.spec import Scenario
 from repro.sim.results import SimulationResult
 from repro.sim.runner import run_trace
 from repro.trace.buffer import TraceBuffer
 from repro.workloads.generator import generate_trace_buffer
+
+__all__ = [
+    "TRACE_MEMO_MAX_ENTRIES",
+    "clear_trace_memo",
+    "execute_job",
+    "execute_job_sourced",
+    "job_trace",
+    "run_shard",
+    "shard_jobs",
+]
 
 #: Bound on the per-process trace memo.  Columnar buffers are compact
 #: (~29 bytes per access) but the bound must cover the six paper workloads
@@ -73,7 +85,10 @@ def job_trace(job: JobSpec, store: Optional[ArtifactStore] = None) -> TraceBuffe
     Resolution order: per-process memo, shared artifact store (memory-mapped
     ``.npy`` columns), fresh generation (which is then published to both).
     Generation is deterministic in (spec, length, cores, seed), so every
-    source yields the identical access stream.
+    source yields the identical access stream.  Scenario jobs compile
+    through :mod:`repro.scenario.compiler` instead of the single-workload
+    generator; everything downstream (store format, memoization, sharding)
+    is identical because a compiled scenario is an ordinary columnar trace.
     """
     digest = job.trace_fingerprint()
     cached = _TRACE_MEMO.get(digest)
@@ -85,8 +100,11 @@ def job_trace(job: JobSpec, store: Optional[ArtifactStore] = None) -> TraceBuffe
         if stored is not None:
             _memoize_trace(digest, stored)
             return stored
-    trace = generate_trace_buffer(job.workload, job.num_accesses,
-                                  num_cores=job.num_cores, seed=job.seed)
+    if isinstance(job.workload, Scenario):
+        trace = generate_scenario_buffer(job.workload, seed=job.seed)
+    else:
+        trace = generate_trace_buffer(job.workload, job.num_accesses,
+                                      num_cores=job.num_cores, seed=job.seed)
     _memoize_trace(digest, trace)
     if store is not None:
         store.put_trace(digest, trace)

@@ -15,6 +15,15 @@ from typing import IO, List, Optional, Tuple
 
 from repro.exec.jobs import JobSpec
 
+__all__ = [
+    "SOURCE_SIMULATED",
+    "SOURCE_STORE",
+    "CampaignProgress",
+    "ConsoleProgress",
+    "NullProgress",
+    "RecordingProgress",
+]
+
 #: Job-completion provenance tags reported to observers.
 SOURCE_STORE = "store"
 SOURCE_SIMULATED = "simulated"

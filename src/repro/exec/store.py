@@ -36,9 +36,25 @@ from typing import Dict, List, Optional, Tuple
 from repro.trace.buffer import TraceBuffer
 from repro.trace.io import load_trace_buffer, save_trace
 
-#: Bump when the serialised payload layout changes; mismatching artifacts are
-#: treated as misses and rewritten rather than unpickled into garbage.
-#: Version 2: traces moved from pickled object lists to structured ``.npy``.
+__all__ = [
+    "STORE_ENV_VAR",
+    "STORE_FORMAT_VERSION",
+    "ArtifactStore",
+    "default_store",
+]
+
+#: On-disk format version, embedded in every artifact; bump it whenever the
+#: serialised payload layout changes, so mismatching artifacts are treated
+#: as misses and rewritten rather than unpickled into garbage.  History:
+#:
+#: * **1** -- results and traces both pickled (traces as ``Access`` lists).
+#: * **2** (current) -- traces moved to structured ``.npy`` record files
+#:   (``repro.trace.buffer.TRACE_RECORD_DTYPE`` schema, loaded back
+#:   memory-mapped); results remain pickled ``(version, payload)`` tuples.
+#:
+#: The format version guards the *container* layout; artifact *content*
+#: freshness is separately guarded by the package version inside every
+#: fingerprint (see :meth:`repro.exec.jobs.JobSpec.trace_fingerprint`).
 STORE_FORMAT_VERSION = 2
 
 #: Environment variable consulted by :func:`default_store`.

@@ -1,0 +1,215 @@
+"""Compile a :class:`~repro.scenario.spec.Scenario` to columnar trace chunks.
+
+The compiler turns the declarative phase/tenant description into the same
+:class:`~repro.trace.buffer.TraceBuffer` chunk stream the single-workload
+generator emits, by splicing per-tenant job streams with vectorized strided
+assignment.  Three properties are load-bearing and guarded by tests:
+
+* **Seed determinism** -- every random draw flows through a named RNG
+  stream derived from ``(seed, scenario, phase, core, slot)``, so one seed
+  fixes the entire multi-tenant trace bit for bit.
+* **Chunk-size invariance** -- within a phase, the merged stream position
+  ``p`` belongs to active core ``active[p mod A]``; for a core running
+  ``J`` concurrent jobs, positions ``p ≡ i + A·s (mod A·J)`` belong to its
+  slot ``s``.  Each (core, slot) pair therefore owns a fixed arithmetic
+  progression of phase positions and consumes its own RNG stream strictly
+  in order, so how the stream is windowed into chunks cannot reorder any
+  draw.  The concatenation of the yielded chunks is bit-identical for every
+  ``chunk_size``, including chunks that span phase boundaries.
+* **Bounded memory** -- phase state (a handful of per-slot pending jobs) is
+  created when a phase starts and dropped when it ends; residency is one
+  chunk of columns plus at most one in-flight job per active (core, slot).
+
+Intensity (phase x tenant x burst) scales the per-access *instruction
+gaps*: the simulator computes arrival times from instruction counts, so an
+access stream at intensity ``k`` arrives ``k`` times faster and contends
+harder at the memory controllers, without changing which addresses are
+touched.  Scale factors are computed from absolute phase positions, so they
+too are chunk-size invariant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.fingerprint import workload_fingerprint
+from repro.common.rng import seeded_generator
+from repro.scenario.spec import Phase, Scenario
+from repro.trace.buffer import DEFAULT_CHUNK_SIZE, TRACE_DTYPES, TraceBuffer
+from repro.workloads.generator import CoreLayout, SlotStream
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = [
+    "generate_scenario_buffer",
+    "iter_scenario_chunks",
+]
+
+
+class _TenantCoreStream:
+    """One active core of one phase: its tenant's slot streams plus geometry."""
+
+    __slots__ = ("core", "spec", "streams", "intensity")
+
+    def __init__(self, core: int, spec: WorkloadSpec, layout: CoreLayout,
+                 intensity: float, scenario: Scenario, phase_index: int,
+                 seed: int) -> None:
+        self.core = core
+        self.spec = spec
+        self.intensity = intensity
+        # Job slots restart at each phase boundary (a phase change is a new
+        # request population); the dataset layout persists across phases.
+        self.streams = [
+            SlotStream(spec, layout, seeded_generator(
+                seed,
+                f"{scenario.seed_stream}/phase{phase_index}"
+                f"/{spec.seed_stream}/core{core}/slot{slot}"))
+            for slot in range(spec.jobs_per_core)
+        ]
+
+
+class _PhaseState:
+    """Emission state of one phase: active core streams and burst windows."""
+
+    __slots__ = ("phase", "active", "period_lcm", "bursts_abs", "uniform_scale")
+
+    def __init__(self, scenario: Scenario, phase_index: int, phase: Phase,
+                 layouts: Dict[Tuple[str, int], CoreLayout], seed: int) -> None:
+        self.phase = phase
+        streams: List[_TenantCoreStream] = []
+        for tenant in phase.tenants:
+            spec = tenant.workload
+            for core in tenant.cores:
+                # Tenant datasets persist across phases: the cache key is the
+                # spec's *content fingerprint* (not its seed stream name, so
+                # ``with_overrides`` variants sharing a name never share a
+                # layout) plus the core, and a workload reappearing in a
+                # later phase re-walks the same object pool (what lets
+                # phase-change scenarios measure re-warming instead of
+                # touching fresh memory).
+                key = (workload_fingerprint(spec), core)
+                layout = layouts.get(key)
+                if layout is None:
+                    layout = CoreLayout(spec, seeded_generator(
+                        seed,
+                        f"{scenario.seed_stream}/tenant"
+                        f"/{spec.seed_stream}/core{core}"))
+                    layouts[key] = layout
+                streams.append(_TenantCoreStream(
+                    core, spec, layout, tenant.intensity, scenario,
+                    phase_index, seed))
+        # Round-robin order is the sorted core id order -- deterministic and
+        # independent of how tenants were listed in the description.
+        streams.sort(key=lambda s: s.core)
+        self.active = streams
+        #: Absolute-position burst windows, resolved once per phase.
+        self.bursts_abs = tuple(
+            (int(round(burst.start * phase.accesses)),
+             int(round(burst.stop * phase.accesses)),
+             burst.intensity)
+            for burst in phase.bursts)
+        #: When the whole phase runs at scale 1.0 the instruction columns
+        #: pass through untouched (no rounding, no division).
+        self.uniform_scale = (
+            phase.intensity == 1.0 and not self.bursts_abs
+            and all(s.intensity == 1.0 for s in streams))
+
+    def emit(self, position: int, count: int
+             ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Materialize phase positions ``[position, position + count)``.
+
+        Every (core, slot) progression intersecting the window is filled with
+        one strided assignment; the per-pair row count depends only on the
+        window bounds, so emission is insensitive to how windows are sized.
+        """
+        active = self.active
+        num_active = len(active)
+        out_core = np.empty(count, dtype=TRACE_DTYPES["core"])
+        out_pc = np.empty(count, dtype=TRACE_DTYPES["pc"])
+        out_address = np.empty(count, dtype=TRACE_DTYPES["address"])
+        out_store = np.empty(count, dtype=TRACE_DTYPES["is_store"])
+        out_instr_raw = np.empty(count, dtype=np.float64)
+        tenant_scale: Optional[np.ndarray] = None
+        if not self.uniform_scale:
+            tenant_scale = np.empty(count, dtype=np.float64)
+        for index, stream in enumerate(active):
+            jobs = stream.spec.jobs_per_core
+            period = num_active * jobs
+            for slot in range(jobs):
+                # Phase positions of this pair: p ≡ index + A·slot (mod A·J).
+                first = (index + num_active * slot - position) % period
+                if first >= count:
+                    continue
+                rows = (count - first + period - 1) // period
+                pc, address, is_store, instructions = stream.streams[slot].take(rows)
+                sl = slice(first, count, period)
+                out_core[sl] = stream.core
+                out_pc[sl] = pc.astype(np.uint64, copy=False)
+                out_address[sl] = address.astype(np.uint64, copy=False)
+                out_store[sl] = is_store
+                out_instr_raw[sl] = instructions
+                if tenant_scale is not None:
+                    tenant_scale[sl] = stream.intensity
+        if tenant_scale is None:
+            out_instr = out_instr_raw.astype(TRACE_DTYPES["instructions"])
+        else:
+            scale = tenant_scale
+            scale *= self.phase.intensity
+            if self.bursts_abs:
+                window = np.arange(position, position + count)
+                for start, stop, intensity in self.bursts_abs:
+                    inside = (window >= start) & (window < stop)
+                    scale[inside] *= intensity
+            out_instr = np.maximum(
+                1, np.rint(out_instr_raw / scale)
+            ).astype(TRACE_DTYPES["instructions"])
+        return out_core, out_pc, out_address, out_store, out_instr
+
+
+def iter_scenario_chunks(scenario: Scenario, seed: int = 42,
+                         chunk_size: int = DEFAULT_CHUNK_SIZE
+                         ) -> Iterator[TraceBuffer]:
+    """Stream a scenario's merged trace as :class:`TraceBuffer` chunks.
+
+    The concatenation of the yielded chunks is bit-identical for every
+    ``chunk_size`` and fully determined by ``seed`` (see the module
+    docstring for why).  Chunks are exactly ``chunk_size`` long except the
+    last, regardless of where phase boundaries fall -- a chunk freely splices
+    the tail of one phase with the head of the next.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    layouts: Dict[Tuple[str, int], CoreLayout] = {}
+    pending: List[Tuple[np.ndarray, ...]] = []
+    pending_rows = 0
+    for phase_index, phase in enumerate(scenario.phases):
+        if phase.accesses == 0:
+            continue
+        state = _PhaseState(scenario, phase_index, phase, layouts, seed)
+        position = 0
+        while position < phase.accesses:
+            take = min(chunk_size - pending_rows, phase.accesses - position)
+            pending.append(state.emit(position, take))
+            pending_rows += take
+            position += take
+            if pending_rows == chunk_size:
+                yield _assemble(pending)
+                pending = []
+                pending_rows = 0
+    if pending:
+        yield _assemble(pending)
+
+
+def _assemble(segments: List[Tuple[np.ndarray, ...]]) -> TraceBuffer:
+    if len(segments) == 1:
+        return TraceBuffer(*segments[0])
+    return TraceBuffer(*(np.concatenate([segment[i] for segment in segments])
+                         for i in range(5)))
+
+
+def generate_scenario_buffer(scenario: Scenario, seed: int = 42,
+                             chunk_size: int = DEFAULT_CHUNK_SIZE) -> TraceBuffer:
+    """Compile the whole scenario into one columnar buffer."""
+    return TraceBuffer.concat(
+        list(iter_scenario_chunks(scenario, seed=seed, chunk_size=chunk_size)))

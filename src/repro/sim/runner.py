@@ -98,8 +98,10 @@ def run_trace(trace: TraceLike, config: SystemConfig,
     """Run an explicit trace through one system configuration.
 
     ``trace`` may be a :class:`TraceBuffer`, a sequence of ``Access``
-    records, or an iterator of either (including a stream of ``TraceBuffer``
-    chunks).  Materialized inputs are consumed in place -- never copied;
+    records, an iterator of either (including a stream of ``TraceBuffer``
+    chunks), or a :class:`repro.scenario.spec.Scenario` (compiled to a
+    streaming chunk iterator; its ``total_accesses`` supplies the warmup
+    boundary).  Materialized inputs are consumed in place -- never copied;
     for pure iterators the warmup boundary needs a length, so pass
     ``num_accesses`` to stay streaming (otherwise the iterator is buffered
     once into columnar form).
@@ -137,7 +139,11 @@ def _trace_length(trace: TraceLike) -> Optional[int]:
 
     A materialized list of chunks counts *accesses*, not chunks -- ``len()``
     on a ``[TraceBuffer, ...]`` would silently misplace the warmup boundary.
+    A scenario declares its length, so it stays streaming.
     """
+    total = getattr(trace, "total_accesses", None)
+    if isinstance(total, int):  # a Scenario (duck-typed to avoid the import)
+        return total
     if isinstance(trace, (list, tuple)) and trace and isinstance(trace[0], TraceBuffer):
         return sum(len(chunk) for chunk in trace)
     try:
@@ -172,7 +178,19 @@ def run_workload_streaming(workload: Union[str, WorkloadSpec], config: SystemCon
     buffer) and nothing is cached, so million-access traces simulate with a
     memory footprint of one chunk.  Results are bit-identical to
     :func:`run_workload` for the same arguments.
+
+    ``workload`` may also be a :class:`repro.scenario.spec.Scenario`; the
+    call then delegates to :func:`repro.scenario.runner.run_scenario` (the
+    scenario defines its own length and core layout, so ``num_accesses`` and
+    ``num_cores`` are ignored).
     """
+    if hasattr(workload, "phases") and hasattr(workload, "total_accesses"):
+        # Lazy import: repro.scenario layers above repro.sim.
+        from repro.scenario.runner import run_scenario
+
+        return run_scenario(workload, config, seed=seed,
+                            warmup_fraction=warmup_fraction,
+                            chunk_size=chunk_size, cache_engine=cache_engine)
     spec = get_workload(workload) if isinstance(workload, str) else workload
     chunks = iter_trace_chunks(spec, num_accesses, num_cores=num_cores,
                                seed=seed, chunk_size=chunk_size)

@@ -127,6 +127,11 @@ class ServerSystem:
             window=params.dram_org.transaction_queue_entries,
             scheduler=config.scheduler,
             fast_scheduler=self._flat_engine,
+            # Every measurement folds into scalar counters at serve time;
+            # retaining one request object per transfer would grow memory
+            # linearly with trace length and break the streaming paths'
+            # bounded-footprint promise.
+            record_completed=False,
         )
 
         self.agents: List[LLCAgent] = []
@@ -215,16 +220,26 @@ class ServerSystem:
         """Run a trace to completion and return the collected measurements.
 
         ``trace`` may be a :class:`repro.trace.buffer.TraceBuffer`, an
-        iterable of :class:`TraceBuffer` chunks (the streaming pipeline), or
-        a sequence/iterator of boxed :class:`Access` records (the legacy
-        shape).  Every shape is interpreted through the same columnar row
-        loop, so the result is identical regardless of how the trace arrives.
+        iterable of :class:`TraceBuffer` chunks (the streaming pipeline), a
+        sequence/iterator of boxed :class:`Access` records (the legacy
+        shape), or a :class:`repro.scenario.spec.Scenario` (compiled to a
+        chunk stream on the fly, at the compiler's default seed).  Every
+        shape is interpreted through the same columnar row loop, so the
+        result is identical regardless of how the trace arrives.
 
         ``warmup_accesses`` accesses are simulated first to warm the caches,
         the predictor tables and the DRAM row buffers (mirroring the paper's
         SMARTS-style warmed-checkpoint methodology); their events are then
         discarded and only the remainder of the trace is measured.
         """
+        # Imported lazily: repro.scenario sits above repro.sim in the layer
+        # order, so a module-level import would be circular.  By the time a
+        # Scenario instance reaches us its package is necessarily loaded.
+        from repro.scenario.compiler import iter_scenario_chunks
+        from repro.scenario.spec import Scenario
+
+        if isinstance(trace, Scenario):
+            trace = iter_scenario_chunks(trace)
         self._refresh_agent_hooks()
         processed = 0
         measuring = False

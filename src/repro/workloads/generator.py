@@ -244,6 +244,16 @@ class _SlotStream:
                      for i in range(4))
 
 
+#: Public names of the per-core building blocks.  The scenario compiler
+#: (:mod:`repro.scenario.compiler`) composes tenants from exactly these
+#: pieces -- a dataset layout drawn from a caller-supplied RNG stream plus
+#: per-slot job streams -- so they are part of this module's contract, not
+#: private implementation detail: changing ``CoreLayout.__init__`` or
+#: ``SlotStream.take`` is an API change for the scenario engine too.
+CoreLayout = _CoreLayout
+SlotStream = _SlotStream
+
+
 def iter_trace_chunks(spec: WorkloadSpec, num_accesses: int, num_cores: int = 16,
                       seed: int = 42,
                       chunk_size: int = DEFAULT_CHUNK_SIZE

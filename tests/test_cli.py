@@ -129,3 +129,31 @@ class TestCommands:
         assert status == 0
         assert output.exists()
         assert len(load_trace(output)) == 2000
+
+
+class TestScenarioCommands:
+    def test_list_ships_the_catalog(self, capsys):
+        status, out = run_cli(capsys, "scenario", "list")
+        assert status == 0
+        for name in ("tenant-colocation", "diurnal-ramp", "antagonist-burst",
+                     "phase-change", "idle-cores", "all-six-mix"):
+            assert name in out
+
+    def test_describe_prints_phase_table(self, capsys):
+        status, out = run_cli(capsys, "scenario", "describe", "antagonist-burst")
+        assert status == 0
+        assert "online_analytics@12-15" in out
+        assert "bursts" in out
+
+    def test_describe_rejects_unknown_scenario(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            run_cli(capsys, "scenario", "describe", "no-such-scenario")
+        assert "no-such-scenario" in str(err.value)
+
+    def test_run_streams_a_scaled_scenario(self, capsys):
+        status, out = run_cli(capsys, "scenario", "run", "idle-cores",
+                              "--system", "base_open", "--scale", "0.002",
+                              "--engine", "flat")
+        assert status == 0
+        assert "row_buffer_hit_ratio" in out
+        assert "idle-cores" in out
