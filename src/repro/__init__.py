@@ -67,7 +67,7 @@ from repro.workloads import (
     iter_trace_chunks,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "BuMPConfig",

@@ -112,7 +112,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     trace = build_trace(args.workload, args.accesses, num_cores=args.cores,
                         seed=args.seed)
     result = run_trace(trace, config, workload_name=args.workload,
-                       warmup_fraction=args.warmup)
+                       warmup_fraction=args.warmup,
+                       dram_engine=args.dram_engine)
     _print(f"{display_name(args.workload)} under {config.name}")
     _print(format_table(_result_rows(result), headers=["metric", "value"]))
     return 0
@@ -130,7 +131,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
     rows = []
     for config in configs:
         result = run_trace(trace, config, workload_name=args.workload,
-                           warmup_fraction=args.warmup)
+                           warmup_fraction=args.warmup,
+                           dram_engine=args.dram_engine)
         summary = result.summary()
         rows.append([config.name] + [f"{summary[metric]:.4g}" for metric in metrics])
     _print(f"{display_name(args.workload)} ({args.accesses} accesses)")
@@ -256,7 +258,8 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
     result = run_scenario(scenario, config, seed=args.seed,
                           warmup_fraction=args.warmup,
                           chunk_size=args.chunk_size,
-                          cache_engine=args.engine)
+                          cache_engine=args.engine,
+                          dram_engine=args.dram_engine)
     _print(f"{scenario.name} ({scenario.total_accesses} accesses) "
            f"under {config.name}")
     _print(format_table(_result_rows(result), headers=["metric", "value"]))
@@ -375,6 +378,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--system", default="bump", help="system configuration name")
     run.add_argument("--warmup", type=float, default=0.5,
                      help="fraction of the trace used for warmup")
+    run.add_argument("--dram-engine", choices=["flat", "object"], default=None,
+                     help="DRAM engine (default: REPRO_DRAM_ENGINE or flat; "
+                          "results are bit-identical)")
     run.set_defaults(handler=cmd_run)
 
     compare = subparsers.add_parser("compare",
@@ -384,6 +390,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated system names")
     compare.add_argument("--warmup", type=float, default=0.5,
                          help="fraction of the trace used for warmup")
+    compare.add_argument("--dram-engine", choices=["flat", "object"], default=None,
+                         help="DRAM engine (default: REPRO_DRAM_ENGINE or "
+                              "flat; results are bit-identical)")
     compare.set_defaults(handler=cmd_compare)
 
     campaign = subparsers.add_parser(
@@ -444,6 +453,10 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_run.add_argument("--engine", choices=["flat", "dict"], default=None,
                               help="cache engine (default: REPRO_CACHE_ENGINE "
                                    "or flat)")
+    scenario_run.add_argument("--dram-engine", choices=["flat", "object"],
+                              default=None,
+                              help="DRAM engine (default: REPRO_DRAM_ENGINE "
+                                   "or flat; results are bit-identical)")
     scenario_run.set_defaults(handler=cmd_scenario_run)
 
     experiment = subparsers.add_parser("experiment",

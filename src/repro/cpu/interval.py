@@ -20,16 +20,31 @@ cannot overlap them, which the timing-sensitivity ablation examines.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.common.params import SystemParams
 from repro.cpu.rob import ROBModel
 from repro.sim.timing import TimingSummary
 
 
 class IntervalTimingModel:
-    """First-order interval-analysis replacement for the analytic timing model."""
+    """First-order interval-analysis replacement for the analytic timing model.
 
-    def __init__(self, params: SystemParams = None,
+    ``independence`` is the fraction of off-chip misses independent of the
+    previous miss; it must lie in ``(0, 1]`` (a zero fraction would deny
+    even the blocking miss itself and is always a configuration mistake).
+    ``mshr_entries`` is the structural cap on outstanding misses and must be
+    at least 1.
+    """
+
+    def __init__(self, params: Optional[SystemParams] = None,
                  independence: float = 0.5, mshr_entries: int = 10) -> None:
+        if not 0.0 < independence <= 1.0:
+            raise ValueError(
+                f"independence must be in (0, 1], got {independence!r}")
+        if mshr_entries < 1:
+            raise ValueError(
+                f"mshr_entries must be at least 1, got {mshr_entries!r}")
         self.params = params if params is not None else SystemParams()
         self.rob = ROBModel(core=self.params.core, independence=independence,
                             mshr_entries=mshr_entries)

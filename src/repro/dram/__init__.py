@@ -17,6 +17,11 @@ with DRAMSim2.  This package provides the equivalent trace-driven model:
   occupancy and the command counts the energy model consumes.
 * :mod:`repro.dram.system` -- the full memory system (all channels) behind a
   single ``enqueue``/``drain`` interface.
+* :mod:`repro.dram.flat` -- the batch-vectorized flat-array engine: the same
+  timing and scheduling semantics as controller + system, bit-identical
+  results, NumPy state arrays and a batched ``enqueue_block_batch`` intake.
+* :mod:`repro.dram.engine` -- engine selection (``REPRO_DRAM_ENGINE=flat``,
+  the default, or ``object``; the object engine is the reference baseline).
 """
 
 from repro.dram.address_mapping import (
@@ -27,6 +32,8 @@ from repro.dram.address_mapping import (
 )
 from repro.dram.bank import Bank
 from repro.dram.controller import MemoryController, PagePolicy
+from repro.dram.engine import dram_engine_name, resolve_dram_engine
+from repro.dram.flat import FlatMemorySystem
 from repro.dram.system import MemorySystem
 
 __all__ = [
@@ -38,4 +45,7 @@ __all__ = [
     "MemoryController",
     "PagePolicy",
     "MemorySystem",
+    "FlatMemorySystem",
+    "dram_engine_name",
+    "resolve_dram_engine",
 ]

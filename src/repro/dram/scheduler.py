@@ -29,6 +29,14 @@ reference path and is used whenever the caller passes its own open-row state
 (as the unit tests do); a property test asserts both paths make identical
 decisions.  Scheduling semantics are unchanged either way: oldest row hit in
 the window, else oldest demand in the window, else the oldest request.
+
+The flat DRAM engine (:mod:`repro.dram.flat`) ports this same bucket scheme
+into its fused drain loop (ring-buffer pending lists, singleton-int
+buckets, window membership tested against the fence seq instead of a
+bisect).  When changing scheduling semantics here, update
+``FlatMemorySystem._drain_channel`` in lockstep -- the engine parity suite
+will catch a divergence on any workload, but keeping the two readable side
+by side is what keeps that cheap.
 """
 
 from __future__ import annotations

@@ -14,6 +14,14 @@ length, core count, seed, warmup fraction and the full system-configuration
 dataclass (including the nested BuMP geometry and architectural parameters)
 are field-for-field identical.  Renaming a configuration does not fake a new
 artifact, and tweaking a nested knob never silently reuses a stale one.
+
+Execution-engine knobs are deliberately **not** part of a job's identity:
+the cache engines (``REPRO_CACHE_ENGINE=flat|dict``) and DRAM engines
+(``REPRO_DRAM_ENGINE=flat|object``) produce bit-identical results, so an
+artifact computed under any engine combination is *the* artifact for that
+job -- a campaign resumed on a machine with a different engine setting
+reuses it safely.  (Engine *behaviour* changes do invalidate artifacts, via
+the package version embedded in every fingerprint.)
 """
 
 from __future__ import annotations

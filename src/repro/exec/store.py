@@ -108,6 +108,7 @@ class ArtifactStore:
         try:
             with path.open("rb") as handle:
                 version, payload = pickle.load(handle)
+                size = os.fstat(handle.fileno()).st_size
         except FileNotFoundError:
             self.counters["misses"] += 1
             return None
@@ -125,7 +126,7 @@ class ArtifactStore:
             self._remove(path)
             return None
         self.counters["hits"] += 1
-        self._touch(path)
+        self._touch(path, size)
         return payload
 
     def _put(self, kind: str, digest: str, payload) -> Path:
@@ -174,11 +175,25 @@ class ArtifactStore:
                 self.prune()
         return path
 
-    @staticmethod
-    def _touch(path: Path) -> None:
+    def _touch(self, path: Path, size: int = 0) -> None:
+        """Refresh an artifact's mtime after a hit (LRU recency signal).
+
+        A touch that fails because the file vanished means a racing pruner
+        or writer removed the artifact between our read and now; the entry
+        this store handle still counts no longer exists, so the approximate
+        occupancy is decremented (by ``size`` bytes and one entry) to stay
+        consistent -- otherwise repeated races would inflate
+        ``_approx_bytes`` until every put triggered a full prune rescan.
+        Other failures (e.g. EACCES on an artifact owned by another worker)
+        leave the counters alone: the artifact still exists.
+        """
         try:
             os.utime(path, None)
-        except OSError:  # pragma: no cover - racing eviction
+        except FileNotFoundError:
+            if self._bounded:
+                self._approx_entries = max(self._approx_entries - 1, 0)
+                self._approx_bytes = max(self._approx_bytes - size, 0)
+        except OSError:
             pass
 
     @staticmethod
@@ -200,6 +215,7 @@ class ArtifactStore:
         """
         path = self._path("traces", digest)
         try:
+            size = path.stat().st_size
             buffer = load_trace_buffer(path, mmap=True)
         except FileNotFoundError:
             self.counters["misses"] += 1
@@ -213,7 +229,7 @@ class ArtifactStore:
             self._remove(path)
             return None
         self.counters["hits"] += 1
-        self._touch(path)
+        self._touch(path, size)
         return buffer
 
     def put_trace(self, digest: str, trace) -> Path:
@@ -233,8 +249,15 @@ class ArtifactStore:
     # ------------------------------------------------------------------ #
     # Introspection and eviction
     # ------------------------------------------------------------------ #
-    def _entries(self) -> List[Tuple[float, int, Path]]:
-        """(mtime, size, path) for every artifact, oldest first."""
+    def _entries(self) -> List[Tuple[int, int, Path]]:
+        """(mtime_ns, size, path) for every artifact, oldest first.
+
+        Recency is ordered on ``st_mtime_ns``: the float ``st_mtime`` loses
+        sub-second precision (and some filesystems only store whole
+        seconds), which made the LRU order among artifacts touched within
+        the same second nondeterministic.  The path string breaks exact
+        timestamp ties so eviction order is total and reproducible.
+        """
         entries = []
         for kind in _KINDS:
             # Both suffixes are scanned in every kind so stale artifacts from
@@ -250,7 +273,7 @@ class ArtifactStore:
                         stat = path.stat()
                     except OSError:  # pragma: no cover - racing eviction
                         continue
-                    entries.append((stat.st_mtime, stat.st_size, path))
+                    entries.append((stat.st_mtime_ns, stat.st_size, path))
         entries.sort(key=lambda item: (item[0], str(item[2])))
         return entries
 

@@ -5,7 +5,9 @@
 feeds the simulator directly, so a million-access multi-tenant run holds one
 chunk of columns in memory regardless of scenario length.  The cache-engine
 knob, warmup split and agent attachment behave exactly as they do for
-single-workload runs -- a scenario is just a trace.
+single-workload runs -- a scenario is just a trace.  The ``dram_engine``
+knob (flat/object, see :mod:`repro.dram.engine`) passes through the same
+way; every engine combination is bit-identical.
 """
 
 from __future__ import annotations
@@ -31,6 +33,7 @@ def run_scenario(scenario: Union[str, Scenario], config: SystemConfig,
                  warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
                  chunk_size: int = DEFAULT_CHUNK_SIZE,
                  cache_engine: Optional[str] = None,
+                 dram_engine: Optional[str] = None,
                  scale: float = 1.0,
                  extra_agents: Optional[Iterable] = None) -> SimulationResult:
     """Simulate one scenario under one system configuration, streaming.
@@ -48,7 +51,8 @@ def run_scenario(scenario: Union[str, Scenario], config: SystemConfig,
                      warmup_fraction=warmup_fraction,
                      num_accesses=resolved.total_accesses,
                      extra_agents=extra_agents,
-                     cache_engine=cache_engine)
+                     cache_engine=cache_engine,
+                     dram_engine=dram_engine)
 
 
 def run_scenario_configs(scenario: Union[str, Scenario],
@@ -57,6 +61,7 @@ def run_scenario_configs(scenario: Union[str, Scenario],
                          warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
                          chunk_size: int = DEFAULT_CHUNK_SIZE,
                          cache_engine: Optional[str] = None,
+                         dram_engine: Optional[str] = None,
                          scale: float = 1.0) -> Dict[str, SimulationResult]:
     """Run one scenario under several configurations over the identical trace.
 
@@ -71,5 +76,6 @@ def run_scenario_configs(scenario: Union[str, Scenario],
     for config in configs:
         results[config.name] = run_scenario(
             resolved, config, seed=seed, warmup_fraction=warmup_fraction,
-            chunk_size=chunk_size, cache_engine=cache_engine)
+            chunk_size=chunk_size, cache_engine=cache_engine,
+            dram_engine=dram_engine)
     return results

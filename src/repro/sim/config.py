@@ -77,6 +77,22 @@ class SystemConfig:
     #: row-buffer coincidence in the FR-FCFS window are realistic).
     arrival_cpi: float = 2.0
 
+    def __post_init__(self) -> None:
+        # Fail at construction, not three layers deep in ServerSystem: these
+        # three fields select code paths, and a typo would otherwise surface
+        # as an obscure error (or not at all) only once a simulation starts.
+        if self.interleaving not in ("block", "region"):
+            raise ValueError(
+                f"unknown interleaving scheme {self.interleaving!r}; "
+                "known schemes: block, region")
+        if self.timing_model not in ("analytic", "interval"):
+            raise ValueError(
+                f"unknown timing model {self.timing_model!r}; "
+                "known models: analytic, interval")
+        if self.arrival_cpi <= 0:
+            raise ValueError(
+                f"arrival_cpi must be positive, got {self.arrival_cpi!r}")
+
     def with_overrides(self, **overrides) -> "SystemConfig":
         """Return a copy of this configuration with selected fields replaced."""
         return replace(self, **overrides)

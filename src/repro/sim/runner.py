@@ -55,6 +55,14 @@ _TRACE_CACHE: "OrderedDict[tuple, TraceBuffer]" = OrderedDict()
 TraceLike = Union[TraceBuffer, Sequence[Access], Iterable]
 
 
+def _freeze_trace(trace: TraceBuffer) -> TraceBuffer:
+    """Mark a buffer's column arrays read-only (in place) and return it."""
+    for column in (trace.core, trace.pc, trace.address, trace.is_store,
+                   trace.instructions):
+        column.setflags(write=False)
+    return trace
+
+
 def build_trace(workload: Union[str, WorkloadSpec], num_accesses: int = DEFAULT_TRACE_LENGTH,
                 num_cores: int = DEFAULT_NUM_CORES, seed: int = DEFAULT_SEED,
                 use_cache: bool = True) -> TraceBuffer:
@@ -64,6 +72,13 @@ def build_trace(workload: Union[str, WorkloadSpec], num_accesses: int = DEFAULT_
     not the display name -- so two specs that share a name but differ in any
     parameter (e.g. ``with_overrides`` variants) can never serve each other's
     trace.
+
+    Cached buffers are returned **read-only** (``writeable=False`` on every
+    column array): every cache hit hands back the same arrays, so a caller
+    mutating them in place would silently corrupt the reference stream of
+    every later run of the same workload.  Writing to a column now raises;
+    callers that need a mutable trace should copy the columns or pass
+    ``use_cache=False``.
     """
     spec = get_workload(workload) if isinstance(workload, str) else workload
     key = (workload_fingerprint(spec), num_accesses, num_cores, seed)
@@ -72,6 +87,7 @@ def build_trace(workload: Union[str, WorkloadSpec], num_accesses: int = DEFAULT_
         return _TRACE_CACHE[key]
     trace = generate_trace_buffer(spec, num_accesses, num_cores=num_cores, seed=seed)
     if use_cache:
+        _freeze_trace(trace)
         _TRACE_CACHE[key] = trace
         _TRACE_CACHE.move_to_end(key)
         while len(_TRACE_CACHE) > TRACE_CACHE_MAX_ENTRIES:
@@ -94,7 +110,8 @@ def run_trace(trace: TraceLike, config: SystemConfig,
               warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
               extra_agents: Optional[Iterable] = None,
               num_accesses: Optional[int] = None,
-              cache_engine: Optional[str] = None) -> SimulationResult:
+              cache_engine: Optional[str] = None,
+              dram_engine: Optional[str] = None) -> SimulationResult:
     """Run an explicit trace through one system configuration.
 
     ``trace`` may be a :class:`TraceBuffer`, a sequence of ``Access``
@@ -112,12 +129,13 @@ def run_trace(trace: TraceLike, config: SystemConfig,
     region-density profiler.
 
     ``cache_engine`` selects the cache array engine (``"flat"`` or
-    ``"dict"``); the default follows ``REPRO_CACHE_ENGINE``.  Both engines
-    produce bit-identical results -- the knob exists for benchmarking and
-    the parity suite.
+    ``"dict"``; default ``REPRO_CACHE_ENGINE``) and ``dram_engine`` the
+    memory-system engine (``"flat"`` or ``"object"``; default
+    ``REPRO_DRAM_ENGINE``).  Every engine combination produces bit-identical
+    results -- the knobs exist for benchmarking and the parity suite.
     """
     system = ServerSystem(config, workload_name=workload_name,
-                          cache_engine=cache_engine)
+                          cache_engine=cache_engine, dram_engine=dram_engine)
     if extra_agents is not None:
         system.agents.extend(extra_agents)
     warmup = 0
@@ -157,12 +175,14 @@ def run_workload(workload: Union[str, WorkloadSpec], config: SystemConfig,
                  num_cores: int = DEFAULT_NUM_CORES,
                  seed: int = DEFAULT_SEED,
                  warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
-                 cache_engine: Optional[str] = None) -> SimulationResult:
+                 cache_engine: Optional[str] = None,
+                 dram_engine: Optional[str] = None) -> SimulationResult:
     """Run one workload through one system configuration."""
     spec = get_workload(workload) if isinstance(workload, str) else workload
     trace = build_trace(spec, num_accesses, num_cores, seed)
     return run_trace(trace, config, workload_name=spec.name,
-                     warmup_fraction=warmup_fraction, cache_engine=cache_engine)
+                     warmup_fraction=warmup_fraction, cache_engine=cache_engine,
+                     dram_engine=dram_engine)
 
 
 def run_workload_streaming(workload: Union[str, WorkloadSpec], config: SystemConfig,
@@ -171,7 +191,8 @@ def run_workload_streaming(workload: Union[str, WorkloadSpec], config: SystemCon
                            seed: int = DEFAULT_SEED,
                            warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
                            chunk_size: int = DEFAULT_CHUNK_SIZE,
-                           cache_engine: Optional[str] = None) -> SimulationResult:
+                           cache_engine: Optional[str] = None,
+                           dram_engine: Optional[str] = None) -> SimulationResult:
     """Run one workload at bounded memory: generator chunks feed the simulator.
 
     The trace is never materialized (neither as objects nor as one large
@@ -190,13 +211,14 @@ def run_workload_streaming(workload: Union[str, WorkloadSpec], config: SystemCon
 
         return run_scenario(workload, config, seed=seed,
                             warmup_fraction=warmup_fraction,
-                            chunk_size=chunk_size, cache_engine=cache_engine)
+                            chunk_size=chunk_size, cache_engine=cache_engine,
+                            dram_engine=dram_engine)
     spec = get_workload(workload) if isinstance(workload, str) else workload
     chunks = iter_trace_chunks(spec, num_accesses, num_cores=num_cores,
                                seed=seed, chunk_size=chunk_size)
     return run_trace(chunks, config, workload_name=spec.name,
                      warmup_fraction=warmup_fraction, num_accesses=num_accesses,
-                     cache_engine=cache_engine)
+                     cache_engine=cache_engine, dram_engine=dram_engine)
 
 
 def run_configs(workload: Union[str, WorkloadSpec], configs: Iterable[SystemConfig],

@@ -47,6 +47,8 @@ from repro.common.stats import StatGroup
 from repro.core.bump import BuMPPredictor
 from repro.core.fullregion import FullRegionStreamer
 from repro.dram.address_mapping import make_block_interleaving, make_region_interleaving
+from repro.dram.engine import resolve_dram_engine
+from repro.dram.flat import FlatMemorySystem
 from repro.dram.system import MemorySystem
 from repro.energy.accounting import ServerEnergyModel
 from repro.noc.crossbar import Crossbar, MessageType
@@ -75,14 +77,23 @@ _HOT_COUNTERS = (
     ("_h_llc_evictions", "llc_evictions"),
     ("_h_demand_writebacks", "demand_writebacks"),
     ("_h_overfetch_evictions", "overfetch_evictions"),
+    ("_h_bulk_reads", "bulk_reads"),
+    ("_h_prefetch_reads", "prefetch_reads"),
+    ("_h_bulk_writebacks", "bulk_writebacks"),
+    ("_h_eager_writebacks", "eager_writebacks"),
 )
+
+#: DRAM request-kind codes, hoisted for the buffered flat-engine issue path.
+_DEMAND_READ_CODE = DRAMRequestKind.DEMAND_READ.code
+_DEMAND_WRITEBACK_CODE = DRAMRequestKind.DEMAND_WRITEBACK.code
 
 
 class ServerSystem:
     """One configured instance of the simulated 16-core server."""
 
     def __init__(self, config: SystemConfig, workload_name: str = "workload",
-                 cache_engine: Optional[str] = None) -> None:
+                 cache_engine: Optional[str] = None,
+                 dram_engine: Optional[str] = None) -> None:
         self.config = config
         self.workload_name = workload_name
         params = config.system
@@ -122,17 +133,37 @@ class ServerSystem:
                                                params.dram_org.row_buffer_bytes)
         else:
             raise ValueError(f"unknown interleaving scheme {config.interleaving!r}")
-        self.memory = MemorySystem(
-            params.dram_timing, params.dram_org, mapping, config.page_policy,
-            window=params.dram_org.transaction_queue_entries,
-            scheduler=config.scheduler,
-            fast_scheduler=self._flat_engine,
-            # Every measurement folds into scalar counters at serve time;
-            # retaining one request object per transfer would grow memory
-            # linearly with trace length and break the streaming paths'
-            # bounded-footprint promise.
-            record_completed=False,
-        )
+        # Effective DRAM engine: the flat engine covers the paper's space
+        # (FR-FCFS, packable organisations) and transparently falls back to
+        # the object engine outside it; results are bit-identical either way.
+        self.dram_engine = resolve_dram_engine(
+            dram_engine, scheduler=config.scheduler, org=params.dram_org)
+        self._flat_dram = self.dram_engine == "flat"
+        if self._flat_dram:
+            self.memory = FlatMemorySystem(
+                params.dram_timing, params.dram_org, mapping,
+                config.page_policy,
+                window=params.dram_org.transaction_queue_entries,
+            )
+        else:
+            self.memory = MemorySystem(
+                params.dram_timing, params.dram_org, mapping, config.page_policy,
+                window=params.dram_org.transaction_queue_entries,
+                scheduler=config.scheduler,
+                fast_scheduler=self._flat_engine,
+                # Every measurement folds into scalar counters at serve time;
+                # retaining one request object per transfer would grow memory
+                # linearly with trace length and break the streaming paths'
+                # bounded-footprint promise.
+                record_completed=False,
+            )
+        # Staged per-chunk DRAM transfers (flat engine): the fast paths
+        # append (block, kind code, arrival) scalars here and ``_flush_dram``
+        # hands the memory system the whole batch at chunk boundaries --
+        # no DRAMRequest object is ever built on the hot path.
+        self._dram_blocks: list = []
+        self._dram_kinds: list = []
+        self._dram_arrivals: list = []
 
         self.agents: List[LLCAgent] = []
         self.bump: Optional[BuMPPredictor] = None
@@ -151,6 +182,9 @@ class ServerSystem:
             raise ValueError(f"unknown timing model {config.timing_model!r}")
         self.energy_model = ServerEnergyModel(params)
         self._core_cycle = 0.0
+        #: Bus-cycle arrival timestamp of the access being processed
+        #: (maintained by the fused loop for the staged DRAM issue sites).
+        self._arrival_bus = 0.0
         self._instructions = 0.0
         self._bus_ratio = params.core_cycles_per_dram_cycle
         self._measurement_start_core_cycle = 0.0
@@ -266,6 +300,7 @@ class ServerSystem:
             processed += len(chunk)
         if warmup_accesses and processed < warmup_accesses:
             raise ValueError("trace shorter than the requested warmup interval")
+        self._flush_dram()
         self.memory.drain()
         return self._collect_results()
 
@@ -280,11 +315,34 @@ class ServerSystem:
         """
         if self._flat_engine:
             self._run_chunk_flat(chunk)
+            self._flush_dram()
             return
         cores, pcs, addresses, stores, instructions = chunk.columns_as_lists()
         step = self._step_fields
         for i in range(len(cores)):
             step(cores[i], pcs[i], addresses[i], stores[i], instructions[i])
+        self._flush_dram()
+
+    def _flush_dram(self) -> None:
+        """Hand the staged per-chunk DRAM transfers to the memory system.
+
+        Under the flat DRAM engine every ``_issue_dram`` site appends plain
+        (block, kind code, arrival cycle) scalars to the staging lists; this
+        flush routes the whole batch through
+        :meth:`repro.dram.flat.FlatMemorySystem.enqueue_block_batch` at chunk
+        boundaries.  FR-FCFS only ever inspects the oldest window of each
+        channel's queue and the batch preserves per-channel arrival order,
+        so serving at batch boundaries is cycle-identical to the object
+        engine's per-request enqueue (see :mod:`repro.dram.flat`).  No-op
+        for the object engine (the staging lists stay empty).
+        """
+        blocks = self._dram_blocks
+        if blocks:
+            self.memory.enqueue_block_batch(blocks, self._dram_kinds,
+                                            self._dram_arrivals)
+            self._dram_blocks = []
+            self._dram_kinds = []
+            self._dram_arrivals = []
 
     def _run_chunk_flat(self, chunk: TraceBuffer) -> None:
         """Fused row loop over the flat-array caches.
@@ -333,6 +391,7 @@ class ServerSystem:
         hits_by_core = [0] * num_cores
         misses_by_core = [0] * num_cores
         core_cycle = self._core_cycle
+        bus_ratio = self._bus_ratio
         # Integer column sum: exact regardless of order, so summing it
         # vectorized matches the scalar path's per-access accumulation.
         instruction_total = int(chunk.instructions.sum(dtype=np.int64))
@@ -361,6 +420,11 @@ class ServerSystem:
             # then take the LLC demand path.
             misses_by_core[core] += 1
             self._core_cycle = core_cycle
+            # One divide per miss: every DRAM transfer generated while this
+            # access is processed arrives at the same bus timestamp (the
+            # object engine divides per transfer with an unchanged
+            # numerator, so the values are identical).
+            self._arrival_bus = core_cycle / bus_ratio
             victim = l1_arrays[core].fill_l1(block, is_store, pc, core)
             if victim is not None:
                 self._l1_writeback_fast(victim)
@@ -392,6 +456,7 @@ class ServerSystem:
 
     def begin_measurement(self) -> None:
         """Discard warmup statistics while keeping all architectural state."""
+        self._flush_dram()
         self.memory.drain()
         self._flush_hot_counters()
         self.counters.reset()
@@ -544,7 +609,14 @@ class ServerSystem:
                         actions = bundle
                     else:
                         actions.merge(bundle)
-            self._issue_dram(block, DRAMRequestKind.DEMAND_READ, core, pc)
+            if self._flat_dram:
+                # Inlined _issue_dram: stage the demand read for the batched
+                # flush without a call frame or a DRAMRequest allocation.
+                self._dram_blocks.append(block)
+                self._dram_kinds.append(_DEMAND_READ_CODE)
+                self._dram_arrivals.append(self._arrival_bus)
+            else:
+                self._issue_dram(block, DRAMRequestKind.DEMAND_READ, core, pc)
             self._h_demand_reads += 1
             if is_store:
                 self._h_store_triggered_reads += 1
@@ -557,7 +629,7 @@ class ServerSystem:
                 self._handle_llc_eviction_fast(victim)
 
         if actions is not None:
-            self._apply_actions(actions, core, pc)
+            self._apply_actions_fast(actions, core, pc)
 
     def _l1_writeback(self, victim) -> None:
         """Forward a dirty L1 victim to the LLC."""
@@ -611,14 +683,20 @@ class ServerSystem:
 
         if victim.dirty:
             self._h_demand_writebacks += 1
-            self._issue_dram(victim.block_address, DRAMRequestKind.DEMAND_WRITEBACK,
-                             victim.core, victim.pc)
+            if self._flat_dram:
+                self._dram_blocks.append(victim.block_address)
+                self._dram_kinds.append(_DEMAND_WRITEBACK_CODE)
+                self._dram_arrivals.append(self._arrival_bus)
+            else:
+                self._issue_dram(victim.block_address,
+                                 DRAMRequestKind.DEMAND_WRITEBACK,
+                                 victim.core, victim.pc)
             self.noc.n_data += 1
         if victim.prefetched and not victim.used:
             self._h_overfetch_evictions += 1
 
         if actions is not None:
-            self._apply_actions(actions, victim.core, victim.pc)
+            self._apply_actions_fast(actions, victim.core, victim.pc)
 
     def _apply_actions(self, actions: AgentActions, core: int, pc: int) -> None:
         if actions.empty:
@@ -654,8 +732,113 @@ class ServerSystem:
                     counters.inc(counter)
                     self.noc.send(MessageType.DATA)
 
+    def _apply_actions_fast(self, actions: AgentActions, core: int, pc: int) -> None:
+        """Agent-generated traffic for the fused flat-engine loop.
+
+        Same event sequence as :meth:`_apply_actions` -- this is the bulk
+        datapath the paper's mechanisms live on (one iteration per streamed
+        block, several per miss under BuMP/Full-region) -- with the per-block
+        overhead between the layers stripped: NOC counters bumped as plain
+        attributes, traffic counters hoisted to instance ints, the LLC
+        residence probe bound once per bundle, and DRAM transfers staged as
+        scalars for the batched flush instead of one ``_issue_dram`` call
+        (frame + request object) per block.
+        """
+        if actions.empty:
+            return
+        noc = self.noc
+        llc = self.llc
+        array = self._llc_array
+        flat_dram = self._flat_dram
+        bulk = self.config.uses_bulk_streaming
+        if flat_dram:
+            dram_blocks = self._dram_blocks
+            dram_kinds = self._dram_kinds
+            dram_arrivals = self._dram_arrivals
+            arrival = self._arrival_bus
+
+        if actions.fetch_blocks:
+            contains = array.contains
+            array_fill = array.fill
+            if bulk:
+                kind = DRAMRequestKind.BULK_READ
+            else:
+                kind = DRAMRequestKind.PREFETCH_READ
+            kind_code = kind.code
+            fetched = 0
+            for block in actions.fetch_blocks:
+                if block < 0 or contains(block):
+                    continue
+                noc.n_generated_request += 1
+                if flat_dram:
+                    dram_blocks.append(block)
+                    dram_kinds.append(kind_code)
+                    dram_arrivals.append(arrival)
+                else:
+                    self._issue_dram(block, kind, core, pc)
+                fetched += 1
+                # LastLevelCache.fill inlined (one call into the flat array;
+                # the wrapper's hot counters are accumulated below / here).
+                victim = array_fill(block, prefetched=True, pc=pc, core=core)
+                noc.n_data += 1
+                if victim is not None:
+                    llc._p_evictions += 1
+                    if victim.dirty:
+                        llc._p_dirty_evictions += 1
+                    if victim.prefetched and not victim.used:
+                        llc._p_overfetched_blocks += 1
+                    self._handle_llc_eviction_fast(victim)
+            if fetched:
+                llc._p_traffic_ops += fetched
+                llc._p_prefetch_fills += fetched
+                if bulk:
+                    self._h_bulk_reads += fetched
+                else:
+                    self._h_prefetch_reads += fetched
+
+        if actions.writeback_blocks:
+            array_clean = array.clean
+            if bulk:
+                kind = DRAMRequestKind.BULK_WRITEBACK
+            else:
+                kind = DRAMRequestKind.EAGER_WRITEBACK
+            kind_code = kind.code
+            cleaned = 0
+            probed = 0
+            for block in actions.writeback_blocks:
+                if block < 0:
+                    continue
+                noc.n_generated_request += 1
+                probed += 1
+                # LastLevelCache.clean inlined (counters accumulated below).
+                if array_clean(block):
+                    if flat_dram:
+                        dram_blocks.append(block)
+                        dram_kinds.append(kind_code)
+                        dram_arrivals.append(arrival)
+                    else:
+                        self._issue_dram(block, kind, core, pc)
+                    cleaned += 1
+                    noc.n_data += 1
+            if probed:
+                llc._p_traffic_ops += probed
+            if cleaned:
+                llc._p_eager_cleaned_blocks += cleaned
+                if bulk:
+                    self._h_bulk_writebacks += cleaned
+                else:
+                    self._h_eager_writebacks += cleaned
+
     def _issue_dram(self, block: int, kind: DRAMRequestKind, core: int, pc: int) -> None:
         arrival_bus_cycles = self._core_cycle / self._bus_ratio
+        if self._flat_dram:
+            # Stage the transfer for the next batched flush; the flat engine
+            # needs no request object (core/pc only matter to consumers of
+            # recorded completions, which the simulator never enables).
+            self._dram_blocks.append(block)
+            self._dram_kinds.append(kind.code)
+            self._dram_arrivals.append(arrival_bus_cycles)
+            return
         request = DRAMRequest(block_address=block, kind=kind, core=core, pc=pc,
                               arrival_cycle=arrival_bus_cycles)
         self.memory.enqueue(request)
@@ -664,6 +847,12 @@ class ServerSystem:
     # Result assembly
     # ------------------------------------------------------------------ #
     def _collect_results(self) -> SimulationResult:
+        # Flush without draining, deliberately: the object engine enqueues at
+        # issue time (serving only eager threshold bursts), so a direct
+        # caller that skipped run()'s final drain observes partially-served
+        # queues there.  Flushing the staged batch reproduces exactly that
+        # state on the flat engine; draining here would *diverge* from it.
+        self._flush_dram()
         self._flush_hot_counters()
         config = self.config
         counters = self.counters

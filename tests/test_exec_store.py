@@ -115,3 +115,67 @@ class TestDefaultStore:
         assert default_store() is first
         monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path / "other-store"))
         assert default_store() is not first
+
+
+class TestPruneOrdering:
+    def test_lru_order_is_deterministic_within_one_second(self, tmp_path):
+        """Sub-second recency must order eviction (st_mtime_ns, not st_mtime)."""
+        bounded = ArtifactStore(tmp_path / "ns", max_entries=2)
+        digests = [f"{i:032x}" for i in range(3)]
+        base_ns = 1_000_000_000_000_000
+        for index, digest in enumerate(digests):
+            bounded.put_result(digest, {"index": index})
+            path = bounded._path("results", digest)
+            # All inside the same wall-clock second, microseconds apart.
+            ns = base_ns + index * 1_000
+            os.utime(path, ns=(ns, ns))
+        bounded.prune()
+        assert bounded.get_result(digests[0]) is None  # oldest by nanoseconds
+        assert bounded.get_result(digests[1]) is not None
+        assert bounded.get_result(digests[2]) is not None
+
+    def test_exact_timestamp_ties_break_on_path(self, tmp_path):
+        bounded = ArtifactStore(tmp_path / "tie", max_entries=1)
+        digests = sorted(f"{i:032x}" for i in (7, 3))
+        ns = 1_000_000_000_000_000
+        for digest in digests:
+            bounded.put_result(digest, {"digest": digest})
+            os.utime(bounded._path("results", digest), ns=(ns, ns))
+        bounded.prune()
+        # Identical timestamps: the lexically-smaller path is "older".
+        assert bounded.get_result(digests[0]) is None
+        assert bounded.get_result(digests[1]) is not None
+
+    def test_touch_failure_decrements_approximate_occupancy(self, tmp_path):
+        bounded = ArtifactStore(tmp_path / "race", max_entries=8,
+                                max_bytes=1 << 20)
+        digest = "e" * 32
+        bounded.put_result(digest, {"payload": list(range(64))})
+        entries_before = bounded._approx_entries
+        bytes_before = bounded._approx_bytes
+        path = bounded._path("results", digest)
+        size = path.stat().st_size
+        # Simulate a racing pruner deleting the artifact between the read
+        # and the recency touch.
+        real_utime = os.utime
+
+        def racing_utime(target, *args, **kwargs):
+            if str(target) == str(path):
+                path.unlink(missing_ok=True)
+            return real_utime(target, *args, **kwargs)
+
+        import unittest.mock as mock
+
+        with mock.patch.object(os, "utime", racing_utime):
+            payload = bounded.get_result(digest)
+        assert payload == {"payload": list(range(64))}  # read won the race
+        assert bounded._approx_entries == entries_before - 1
+        assert bounded._approx_bytes == bytes_before - size
+
+    def test_touch_failure_never_goes_negative(self, tmp_path):
+        bounded = ArtifactStore(tmp_path / "floor", max_entries=2)
+        bounded._approx_entries = 0
+        bounded._approx_bytes = 0
+        bounded._touch(tmp_path / "floor" / "results" / "missing.pkl", 4096)
+        assert bounded._approx_entries == 0
+        assert bounded._approx_bytes == 0

@@ -118,3 +118,40 @@ def test_run_configs_shares_one_trace_across_systems():
 def test_run_named_configs_rejects_unknown_names():
     with pytest.raises(KeyError):
         run_named_configs("web_search", ["warp_drive"], num_accesses=1000)
+
+
+class TestTraceCacheAliasing:
+    """Cached buffers are shared by reference; they must be immutable."""
+
+    def test_cached_trace_columns_are_read_only(self):
+        trace = build_trace("web_search", 500, num_cores=2, seed=1)
+        import numpy as np
+
+        for column in (trace.core, trace.pc, trace.address, trace.is_store,
+                       trace.instructions):
+            assert not column.flags.writeable
+            with pytest.raises(ValueError):
+                column[0] = 0
+
+    def test_mutation_attempt_cannot_corrupt_later_cache_hits(self):
+        first = build_trace("web_search", 500, num_cores=2, seed=1)
+        original = first.address.copy()
+        with pytest.raises(ValueError):
+            first.address[:] = 0
+        second = build_trace("web_search", 500, num_cores=2, seed=1)
+        assert second is first
+        import numpy as np
+
+        assert np.array_equal(second.address, original)
+
+    def test_uncached_traces_stay_writable(self):
+        trace = build_trace("web_search", 500, num_cores=2, seed=1,
+                            use_cache=False)
+        assert trace.address.flags.writeable
+        trace.address[0] = 0  # must not raise
+
+    def test_read_only_trace_still_simulates(self):
+        build_trace("web_search", 1000, num_cores=4, seed=3)  # freeze in cache
+        result = run_workload("web_search", base_open(), num_accesses=1000,
+                              num_cores=4, seed=3, warmup_fraction=0.0)
+        assert result.counters["accesses"] == 1000
