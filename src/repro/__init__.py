@@ -29,6 +29,10 @@ The package is organised as one subpackage per subsystem:
 * :mod:`repro.exec` -- the parallel experiment-campaign engine: declarative
   job grids, a content-addressed on-disk artifact store, worker-process
   sharding and the serial-vs-parallel parity guard.
+* :mod:`repro.telemetry` -- the observability layer: per-chunk timeline
+  sampling of the hot counters, span tracing of the pipeline stages
+  (JSONL event logs) and fleet-level campaign metrics, selected via
+  ``REPRO_TELEMETRY`` / ``telemetry=`` and off (free) by default.
 * :mod:`repro.cli` -- the ``repro`` command-line interface (also installed
   as ``repro-bump``).
 
@@ -67,7 +71,7 @@ from repro.workloads import (
     iter_trace_chunks,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "BuMPConfig",

@@ -18,6 +18,9 @@ Command                Purpose
 ``experiment``         regenerate one paper figure/table and print its rows
 ``scaling``            print the Section VI storage-scaling tables
 ``trace``              generate a workload trace and save it to disk
+``report``             render telemetry artifacts: run timelines and span
+                       tables from JSONL event logs, campaign metrics files,
+                       and the in-process trace-cache counters
 =====================  =====================================================
 
 Every command prints plain text to stdout; exit status is zero on success,
@@ -42,7 +45,20 @@ from repro.exec.store import ArtifactStore, default_store
 from repro.scenario.catalog import get_scenario, scenario_names
 from repro.scenario.runner import run_scenario
 from repro.sim.config import extended_configs, named_configs
-from repro.sim.runner import build_trace, run_trace
+from repro.sim.runner import build_trace, run_trace, trace_cache_info
+from repro.telemetry import MODES as TELEMETRY_MODES
+from repro.telemetry import (
+    read_campaign_metrics,
+    read_events_jsonl,
+    resolve_telemetry,
+    timeline_from_events,
+)
+from repro.telemetry.report import (
+    render_campaign,
+    render_spans,
+    render_timeline,
+    summarize_events,
+)
 from repro.trace.io import save_trace
 from repro.trace.stats import characterize_trace
 from repro.workloads.catalog import display_name, get_workload, workload_names
@@ -107,15 +123,45 @@ def _result_rows(result) -> List[List[str]]:
     return [[key, f"{value:.4g}"] for key, value in summary.items()]
 
 
+def _setup_telemetry(args: argparse.Namespace):
+    """Resolve the run/scenario-run telemetry flags to a recorder (or None).
+
+    ``--events`` without an explicit ``--telemetry`` implies ``full`` --
+    asking for an event log is asking for telemetry.
+    """
+    mode = getattr(args, "telemetry", None)
+    if getattr(args, "events", None) and mode is None:
+        mode = "full"
+    if mode is None:
+        return None  # fall back to REPRO_TELEMETRY inside the runner
+    return resolve_telemetry(mode)
+
+
+def _finish_telemetry(recorder, args: argparse.Namespace) -> None:
+    """Print the recorder summary and write the JSONL log if requested."""
+    if recorder is None:
+        return
+    samples = len(recorder.timeline) if recorder.timeline is not None else 0
+    events = len(recorder.tracer.events) if recorder.tracer is not None else 0
+    _print(f"telemetry[{recorder.mode}]: {samples} sample(s), "
+           f"{events} span/mark event(s)")
+    if getattr(args, "events", None):
+        path = recorder.write_jsonl(args.events)
+        _print(f"wrote telemetry events to {path}")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     config = _resolve_config(args.system)
     trace = build_trace(args.workload, args.accesses, num_cores=args.cores,
                         seed=args.seed)
+    recorder = _setup_telemetry(args)
     result = run_trace(trace, config, workload_name=args.workload,
                        warmup_fraction=args.warmup,
-                       dram_engine=args.dram_engine)
+                       dram_engine=args.dram_engine,
+                       telemetry=recorder)
     _print(f"{display_name(args.workload)} under {config.name}")
     _print(format_table(_result_rows(result), headers=["metric", "value"]))
+    _finish_telemetry(recorder, args)
     return 0
 
 
@@ -213,6 +259,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         f"{outcome.cached_count} from store, {outcome.elapsed_seconds:.1f}s"
         + (f" (store: {store.root})" if store is not None else "")
     )
+    if outcome.metrics_path is not None:
+        _print(f"campaign metrics: {outcome.metrics_path} "
+               f"(render with: repro report {outcome.metrics_path})")
     return 0
 
 
@@ -255,14 +304,17 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
         raise SystemExit("--chunk-size must be positive")
     if not 0.0 <= args.warmup < 1.0:
         raise SystemExit("--warmup must be in [0, 1)")
+    recorder = _setup_telemetry(args)
     result = run_scenario(scenario, config, seed=args.seed,
                           warmup_fraction=args.warmup,
                           chunk_size=args.chunk_size,
                           cache_engine=args.engine,
-                          dram_engine=args.dram_engine)
+                          dram_engine=args.dram_engine,
+                          telemetry=recorder)
     _print(f"{scenario.name} ({scenario.total_accesses} accesses) "
            f"under {config.name}")
     _print(format_table(_result_rows(result), headers=["metric", "value"]))
+    _finish_telemetry(recorder, args)
     return 0
 
 
@@ -343,6 +395,50 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    import json
+
+    emitted = False
+    if args.caches:
+        info = trace_cache_info()
+        if args.json:
+            _print(json.dumps({"trace_cache": info}, indent=2, sort_keys=True))
+        else:
+            rows = [[key, f"{value:.4g}" if isinstance(value, float) else str(value)]
+                    for key, value in info.items()]
+            _print("trace cache (this process)")
+            _print(format_table(rows, headers=["metric", "value"]))
+        emitted = True
+    if args.path:
+        if args.path.endswith(".jsonl"):
+            try:
+                events = read_events_jsonl(args.path)
+            except (OSError, ValueError) as exc:
+                raise SystemExit(f"cannot read event log {args.path!r}: {exc}")
+            if args.json:
+                _print(json.dumps(summarize_events(events), indent=2,
+                                  sort_keys=True))
+            else:
+                _print(render_timeline(timeline_from_events(events)))
+                _print("")
+                _print(render_spans(events))
+        else:
+            try:
+                document = read_campaign_metrics(args.path)
+            except (OSError, ValueError) as exc:
+                raise SystemExit(
+                    f"cannot read campaign metrics {args.path!r}: {exc}")
+            if args.json:
+                _print(json.dumps(document, indent=2, sort_keys=True))
+            else:
+                _print(render_campaign(document))
+        emitted = True
+    if not emitted:
+        raise SystemExit("nothing to report: pass a telemetry .jsonl event "
+                         "log, a campaign metrics .json file, or --caches")
+    return 0
+
+
 # --------------------------------------------------------------------- #
 # Argument parsing
 # --------------------------------------------------------------------- #
@@ -381,6 +477,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--dram-engine", choices=["flat", "object"], default=None,
                      help="DRAM engine (default: REPRO_DRAM_ENGINE or flat; "
                           "results are bit-identical)")
+    run.add_argument("--telemetry", choices=list(TELEMETRY_MODES), default=None,
+                     help="observability mode (default: REPRO_TELEMETRY or "
+                          "off; results are bit-identical)")
+    run.add_argument("--events", default="",
+                     help="write the telemetry JSONL event log here "
+                          "(implies --telemetry full)")
     run.set_defaults(handler=cmd_run)
 
     compare = subparsers.add_parser("compare",
@@ -457,6 +559,14 @@ def build_parser() -> argparse.ArgumentParser:
                               default=None,
                               help="DRAM engine (default: REPRO_DRAM_ENGINE "
                                    "or flat; results are bit-identical)")
+    scenario_run.add_argument("--telemetry", choices=list(TELEMETRY_MODES),
+                              default=None,
+                              help="observability mode (default: "
+                                   "REPRO_TELEMETRY or off; results are "
+                                   "bit-identical)")
+    scenario_run.add_argument("--events", default="",
+                              help="write the telemetry JSONL event log here "
+                                   "(implies --telemetry full)")
     scenario_run.set_defaults(handler=cmd_scenario_run)
 
     experiment = subparsers.add_parser("experiment",
@@ -479,6 +589,20 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--chunk-size", type=int, default=65_536,
                        help="generator chunk granularity (accesses)")
     trace.set_defaults(handler=cmd_trace)
+
+    report = subparsers.add_parser(
+        "report",
+        help="render telemetry artifacts (event logs, campaign metrics, "
+             "cache counters)")
+    report.add_argument("path", nargs="?", default="",
+                        help="telemetry .jsonl event log or campaign metrics "
+                             ".json file")
+    report.add_argument("--caches", action="store_true",
+                        help="show the in-process trace-cache counters "
+                             "(entries, hits, misses, hit ratio)")
+    report.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of tables")
+    report.set_defaults(handler=cmd_report)
 
     return parser
 

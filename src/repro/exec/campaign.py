@@ -23,10 +23,16 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exec import pool
 from repro.exec.jobs import JobSpec, fingerprint
+from repro.telemetry.metrics import (
+    JobMetrics,
+    campaign_metrics,
+    write_campaign_metrics,
+)
 from repro.exec.progress import (
     SOURCE_SIMULATED,
     SOURCE_STORE,
@@ -67,6 +73,20 @@ def result_fingerprint(result: SimulationResult) -> str:
     return fingerprint(result)
 
 
+def _job_metrics(job: JobSpec, source: str, cost: Dict[str, float]) -> JobMetrics:
+    """Fold a job's identity and a :func:`pool.job_cost_metrics` dict together."""
+    return JobMetrics(
+        label=job.label,
+        workload=job.workload.name,
+        config=job.config.name,
+        seed=job.seed,
+        source=source,
+        wall_seconds=float(cost["wall_seconds"]),
+        peak_rss_bytes=int(cost["peak_rss_bytes"]),
+        pid=int(cost["pid"]),
+    )
+
+
 @dataclass
 class JobOutcome:
     """One job's result plus where it came from."""
@@ -82,6 +102,13 @@ class CampaignResult:
 
     outcomes: List[JobOutcome] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    #: Cost provenance per outcome, in outcome order (wall time, peak RSS,
+    #: producing pid); see :mod:`repro.telemetry.metrics`.
+    job_metrics: List[JobMetrics] = field(default_factory=list)
+    #: The fleet-level campaign metrics document (always built).
+    metrics: Dict[str, object] = field(default_factory=dict)
+    #: Where the metrics document was persisted (``None`` without a store).
+    metrics_path: Optional[Path] = None
 
     @property
     def simulated_count(self) -> int:
@@ -140,6 +167,7 @@ class Campaign:
         """Execute every job, satisfying as many as possible from the store."""
         start = time.perf_counter()
         outcomes: List[Optional[JobOutcome]] = [None] * len(self.jobs)
+        metrics_rows: List[Optional[JobMetrics]] = [None] * len(self.jobs)
 
         pending: List[Tuple[int, JobSpec]] = []
         for index, job in enumerate(self.jobs):
@@ -147,6 +175,8 @@ class Campaign:
                       if self.store is not None else None)
             if cached is not None:
                 outcomes[index] = JobOutcome(job, cached, SOURCE_STORE)
+                metrics_rows[index] = _job_metrics(
+                    job, SOURCE_STORE, pool.job_cost_metrics(0.0))
             else:
                 pending.append((index, job))
 
@@ -161,31 +191,63 @@ class Campaign:
 
         if pending:
             if self.workers == 1:
-                completed = self._run_serial(pending, outcomes, completed)
+                completed = self._run_serial(pending, outcomes, metrics_rows,
+                                             completed)
             else:
-                completed = self._run_parallel(pending, outcomes, completed)
+                completed = self._run_parallel(pending, outcomes, metrics_rows,
+                                               completed)
 
+        elapsed = time.perf_counter() - start
+        job_metrics = [m for m in metrics_rows if m is not None]
+        document = campaign_metrics(
+            job_metrics, elapsed_seconds=elapsed, workers=self.workers,
+            store_stats=self.store.stats() if self.store is not None else None,
+        )
         result = CampaignResult(
             outcomes=[o for o in outcomes if o is not None],
-            elapsed_seconds=time.perf_counter() - start,
+            elapsed_seconds=elapsed,
+            job_metrics=job_metrics,
+            metrics=document,
+            metrics_path=self._persist_metrics(document),
         )
         self.progress.on_finish(result.simulated_count, result.cached_count,
                                 result.elapsed_seconds)
         return result
 
+    def _persist_metrics(self, document: Dict[str, object]) -> Optional[Path]:
+        """Write the fleet metrics file next to the artifacts (store runs only).
+
+        The filename is content-addressed over the campaign's job
+        fingerprints, so re-running the same sweep overwrites its own
+        metrics document instead of accumulating duplicates, while distinct
+        sweeps sharing a store keep distinct files.
+        """
+        if self.store is None:
+            return None
+        digest = fingerprint([job.result_fingerprint() for job in self.jobs])[:16]
+        path = self.store.root / "metrics" / f"campaign-{digest}.json"
+        return write_campaign_metrics(document, path)
+
     # ------------------------------------------------------------------ #
     def _run_serial(self, pending: List[Tuple[int, JobSpec]],
-                    outcomes: List[Optional[JobOutcome]], completed: int) -> int:
+                    outcomes: List[Optional[JobOutcome]],
+                    metrics_rows: List[Optional[JobMetrics]],
+                    completed: int) -> int:
         for index, job in pending:
+            started = time.perf_counter()
             result, simulated = pool.execute_job_sourced(job, self.store)
+            cost = pool.job_cost_metrics(time.perf_counter() - started)
             source = SOURCE_SIMULATED if simulated else SOURCE_STORE
             outcomes[index] = JobOutcome(job, result, source)
+            metrics_rows[index] = _job_metrics(job, source, cost)
             completed += 1
             self.progress.on_job_done(job, source, completed, len(self.jobs))
         return completed
 
     def _run_parallel(self, pending: List[Tuple[int, JobSpec]],
-                      outcomes: List[Optional[JobOutcome]], completed: int) -> int:
+                      outcomes: List[Optional[JobOutcome]],
+                      metrics_rows: List[Optional[JobMetrics]],
+                      completed: int) -> int:
         shards = pool.shard_jobs(pending, workers=self.workers)
         store = self.store
         initargs = (
@@ -207,10 +269,11 @@ class Campaign:
                     labels = ", ".join(job.label for _, job in shard)
                     errors.append(f"shard [{labels}]: {exc!r}")
                     continue
-                for index, result, simulated in shard_results:
+                for index, result, simulated, cost in shard_results:
                     job = self.jobs[index]
                     source = SOURCE_SIMULATED if simulated else SOURCE_STORE
                     outcomes[index] = JobOutcome(job, result, source)
+                    metrics_rows[index] = _job_metrics(job, source, cost)
                     completed += 1
                     self.progress.on_job_done(job, source,
                                               completed, len(self.jobs))

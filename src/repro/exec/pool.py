@@ -18,8 +18,10 @@ which is what makes the serial/parallel parity guarantee hold.
 
 from __future__ import annotations
 
+import os
+import time
 from collections import OrderedDict
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exec.jobs import JobSpec
 from repro.exec.store import ArtifactStore
@@ -27,6 +29,7 @@ from repro.scenario.compiler import generate_scenario_buffer
 from repro.scenario.spec import Scenario
 from repro.sim.results import SimulationResult
 from repro.sim.runner import run_trace
+from repro.telemetry.metrics import peak_rss_bytes
 from repro.trace.buffer import TraceBuffer
 from repro.workloads.generator import generate_trace_buffer
 
@@ -35,6 +38,7 @@ __all__ = [
     "clear_trace_memo",
     "execute_job",
     "execute_job_sourced",
+    "job_cost_metrics",
     "job_trace",
     "run_shard",
     "shard_jobs",
@@ -138,15 +142,35 @@ def execute_job(job: JobSpec, store: Optional[ArtifactStore] = None) -> Simulati
     return execute_job_sourced(job, store)[0]
 
 
+def job_cost_metrics(wall_seconds: float) -> Dict[str, float]:
+    """Cost provenance of one finished job in the *current* process.
+
+    Small plain dict (pickle-cheap across the pool boundary); the campaign
+    folds it into a :class:`repro.telemetry.metrics.JobMetrics` record.
+    """
+    return {
+        "wall_seconds": wall_seconds,
+        "peak_rss_bytes": peak_rss_bytes(),
+        "pid": os.getpid(),
+    }
+
+
 def run_shard(indexed_jobs: Sequence[Tuple[int, JobSpec]]
-              ) -> List[Tuple[int, SimulationResult, bool]]:
+              ) -> List[Tuple[int, SimulationResult, bool, Dict[str, float]]]:
     """Worker entry point: execute one shard of (index, job) pairs.
 
     All jobs of a shard share a trace fingerprint, so the trace is resolved
-    once and every configuration replays the identical stream.
+    once and every configuration replays the identical stream.  Each entry
+    carries the worker-side cost metrics (:func:`job_cost_metrics`) so the
+    campaign can account wall time and memory per producing process.
     """
-    return [(index,) + execute_job_sourced(job, _WORKER_STORE)
-            for index, job in indexed_jobs]
+    results = []
+    for index, job in indexed_jobs:
+        started = time.perf_counter()
+        result, simulated = execute_job_sourced(job, _WORKER_STORE)
+        metrics = job_cost_metrics(time.perf_counter() - started)
+        results.append((index, result, simulated, metrics))
+    return results
 
 
 def shard_jobs(indexed_jobs: Sequence[Tuple[int, JobSpec]],

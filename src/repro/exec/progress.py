@@ -71,7 +71,17 @@ class ConsoleProgress(CampaignProgress):
         if completed % self.every and completed != total:
             return
         elapsed = time.perf_counter() - self._start
-        self._write(f"[{completed:>4}/{total}] {job.label} ({source}, {elapsed:.1f}s)")
+        line = f"[{completed:>4}/{total}] {job.label} ({source}, {elapsed:.1f}s)"
+        # Rate and ETA need a nonzero elapsed interval: when every job was
+        # satisfied from the store the whole campaign can complete in the
+        # clock's same instant, and a division there would blow up.
+        if elapsed > 0.0 and completed > 0:
+            rate = completed / elapsed
+            remaining = total - completed
+            line += f" | {rate:.1f} job/s"
+            if remaining:
+                line += f", eta {remaining / rate:.1f}s"
+        self._write(line)
 
     def on_finish(self, simulated: int, cached: int, elapsed_seconds: float) -> None:
         self._write(

@@ -81,7 +81,8 @@ class ArtifactStore:
         for kind in _KINDS:
             (self.root / kind).mkdir(parents=True, exist_ok=True)
         self.counters: Dict[str, int] = {
-            "hits": 0, "misses": 0, "stores": 0, "evictions": 0, "corrupt": 0,
+            "hits": 0, "misses": 0, "stores": 0, "puts": 0, "evictions": 0,
+            "corrupt": 0, "prune_bytes_reclaimed": 0, "touch_failures": 0,
         }
         # Approximate occupancy, maintained incrementally so bounded stores
         # do not stat-scan the whole directory on every put; prune() resyncs
@@ -159,7 +160,10 @@ class ArtifactStore:
         except BaseException:
             self._remove(staging)
             raise
+        # "stores" predates "puts"; both count successful publishes so older
+        # consumers keep working while the campaign metrics file uses "puts".
         self.counters["stores"] += 1
+        self.counters["puts"] += 1
         if self._bounded:
             # Approximate on purpose: concurrent writers can skew these
             # numbers slightly, and prune() resyncs them with the filesystem.
@@ -190,11 +194,12 @@ class ArtifactStore:
         try:
             os.utime(path, None)
         except FileNotFoundError:
+            self.counters["touch_failures"] += 1
             if self._bounded:
                 self._approx_entries = max(self._approx_entries - 1, 0)
                 self._approx_bytes = max(self._approx_bytes - size, 0)
         except OSError:
-            pass
+            self.counters["touch_failures"] += 1
 
     @staticmethod
     def _remove(path: Path) -> None:
@@ -292,6 +297,7 @@ class ArtifactStore:
         entries = self._entries()
         total = sum(size for _, size, _ in entries)
         evicted = 0
+        reclaimed = 0
         while entries and (
             (self.max_entries is not None and len(entries) > self.max_entries)
             or (self.max_bytes is not None and total > self.max_bytes)
@@ -300,7 +306,9 @@ class ArtifactStore:
             self._remove(path)
             total -= size
             evicted += 1
+            reclaimed += size
         self.counters["evictions"] += evicted
+        self.counters["prune_bytes_reclaimed"] += reclaimed
         self._approx_entries = len(entries)
         self._approx_bytes = total
         return evicted

@@ -35,7 +35,8 @@ def run_scenario(scenario: Union[str, Scenario], config: SystemConfig,
                  cache_engine: Optional[str] = None,
                  dram_engine: Optional[str] = None,
                  scale: float = 1.0,
-                 extra_agents: Optional[Iterable] = None) -> SimulationResult:
+                 extra_agents: Optional[Iterable] = None,
+                 telemetry=None) -> SimulationResult:
     """Simulate one scenario under one system configuration, streaming.
 
     ``scenario`` is a catalog name (scaled by ``scale``) or a
@@ -44,15 +45,29 @@ def run_scenario(scenario: Union[str, Scenario], config: SystemConfig,
     loop, so memory stays bounded by ``chunk_size`` for arbitrarily long
     scenarios.  Results are bit-identical for any ``chunk_size`` and across
     the flat/dict cache engines.
+
+    ``telemetry`` follows :func:`repro.sim.runner.run_trace`; when the mode
+    records spans, the scenario's phase boundaries are emitted as ``phase``
+    marks (phase name plus its cumulative end position in the trace), so an
+    event log can attribute timeline intervals to scenario phases.
     """
+    from repro.telemetry.recorder import resolve_telemetry
+
     resolved = get_scenario(scenario, scale=scale)
+    recorder = resolve_telemetry(telemetry)
+    if recorder is not None:
+        boundary = 0
+        for phase in resolved.phases:
+            boundary += phase.accesses
+            recorder.note_phase(phase.name, boundary)
     chunks = iter_scenario_chunks(resolved, seed=seed, chunk_size=chunk_size)
     return run_trace(chunks, config, workload_name=resolved.name,
                      warmup_fraction=warmup_fraction,
                      num_accesses=resolved.total_accesses,
                      extra_agents=extra_agents,
                      cache_engine=cache_engine,
-                     dram_engine=dram_engine)
+                     dram_engine=dram_engine,
+                     telemetry=recorder)
 
 
 def run_scenario_configs(scenario: Union[str, Scenario],
@@ -62,7 +77,8 @@ def run_scenario_configs(scenario: Union[str, Scenario],
                          chunk_size: int = DEFAULT_CHUNK_SIZE,
                          cache_engine: Optional[str] = None,
                          dram_engine: Optional[str] = None,
-                         scale: float = 1.0) -> Dict[str, SimulationResult]:
+                         scale: float = 1.0,
+                         telemetry=None) -> Dict[str, SimulationResult]:
     """Run one scenario under several configurations over the identical trace.
 
     Each configuration replays the same deterministic chunk stream (the
@@ -77,5 +93,5 @@ def run_scenario_configs(scenario: Union[str, Scenario],
         results[config.name] = run_scenario(
             resolved, config, seed=seed, warmup_fraction=warmup_fraction,
             chunk_size=chunk_size, cache_engine=cache_engine,
-            dram_engine=dram_engine)
+            dram_engine=dram_engine, telemetry=telemetry)
     return results

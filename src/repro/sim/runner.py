@@ -51,6 +51,11 @@ DEFAULT_SEED = 42
 TRACE_CACHE_MAX_ENTRIES = 8
 
 _TRACE_CACHE: "OrderedDict[tuple, TraceBuffer]" = OrderedDict()
+#: Lifetime hit/miss counts of the trace cache (cache-consulted calls only;
+#: ``use_cache=False`` bypasses are neither).  Surfaced by
+#: :func:`trace_cache_info` and the ``repro report --caches`` command.
+_TRACE_CACHE_HITS = 0
+_TRACE_CACHE_MISSES = 0
 
 TraceLike = Union[TraceBuffer, Sequence[Access], Iterable]
 
@@ -80,13 +85,16 @@ def build_trace(workload: Union[str, WorkloadSpec], num_accesses: int = DEFAULT_
     callers that need a mutable trace should copy the columns or pass
     ``use_cache=False``.
     """
+    global _TRACE_CACHE_HITS, _TRACE_CACHE_MISSES
     spec = get_workload(workload) if isinstance(workload, str) else workload
     key = (workload_fingerprint(spec), num_accesses, num_cores, seed)
     if use_cache and key in _TRACE_CACHE:
+        _TRACE_CACHE_HITS += 1
         _TRACE_CACHE.move_to_end(key)
         return _TRACE_CACHE[key]
     trace = generate_trace_buffer(spec, num_accesses, num_cores=num_cores, seed=seed)
     if use_cache:
+        _TRACE_CACHE_MISSES += 1
         _freeze_trace(trace)
         _TRACE_CACHE[key] = trace
         _TRACE_CACHE.move_to_end(key)
@@ -96,13 +104,31 @@ def build_trace(workload: Union[str, WorkloadSpec], num_accesses: int = DEFAULT_
 
 
 def clear_trace_cache() -> None:
-    """Drop all cached traces (frees memory between unrelated sweeps)."""
+    """Drop all cached traces (frees memory between unrelated sweeps).
+
+    Also zeroes the hit/miss counters, so :func:`trace_cache_info` after a
+    clear describes only the activity since.
+    """
+    global _TRACE_CACHE_HITS, _TRACE_CACHE_MISSES
     _TRACE_CACHE.clear()
+    _TRACE_CACHE_HITS = 0
+    _TRACE_CACHE_MISSES = 0
 
 
-def trace_cache_info() -> Dict[str, int]:
-    """Current occupancy and capacity of the trace cache."""
-    return {"entries": len(_TRACE_CACHE), "capacity": TRACE_CACHE_MAX_ENTRIES}
+def trace_cache_info() -> Dict[str, float]:
+    """Occupancy, capacity and lifetime effectiveness of the trace cache.
+
+    ``hit_ratio`` is hits over cache-consulted lookups (hits + misses),
+    0.0 before the first lookup.
+    """
+    lookups = _TRACE_CACHE_HITS + _TRACE_CACHE_MISSES
+    return {
+        "entries": len(_TRACE_CACHE),
+        "capacity": TRACE_CACHE_MAX_ENTRIES,
+        "hits": _TRACE_CACHE_HITS,
+        "misses": _TRACE_CACHE_MISSES,
+        "hit_ratio": _TRACE_CACHE_HITS / lookups if lookups else 0.0,
+    }
 
 
 def run_trace(trace: TraceLike, config: SystemConfig,
@@ -111,7 +137,8 @@ def run_trace(trace: TraceLike, config: SystemConfig,
               extra_agents: Optional[Iterable] = None,
               num_accesses: Optional[int] = None,
               cache_engine: Optional[str] = None,
-              dram_engine: Optional[str] = None) -> SimulationResult:
+              dram_engine: Optional[str] = None,
+              telemetry=None) -> SimulationResult:
     """Run an explicit trace through one system configuration.
 
     ``trace`` may be a :class:`TraceBuffer`, a sequence of ``Access``
@@ -133,9 +160,16 @@ def run_trace(trace: TraceLike, config: SystemConfig,
     memory-system engine (``"flat"`` or ``"object"``; default
     ``REPRO_DRAM_ENGINE``).  Every engine combination produces bit-identical
     results -- the knobs exist for benchmarking and the parity suite.
+
+    ``telemetry`` selects the observability mode (``"off"``, ``"chunks"``,
+    ``"spans"``, ``"full"``, a :class:`repro.telemetry.TelemetryRecorder`
+    to keep, or ``None`` to consult ``REPRO_TELEMETRY``).  Telemetry never
+    changes the result -- pass a recorder instance to read the timeline and
+    span events afterwards.
     """
     system = ServerSystem(config, workload_name=workload_name,
-                          cache_engine=cache_engine, dram_engine=dram_engine)
+                          cache_engine=cache_engine, dram_engine=dram_engine,
+                          telemetry=telemetry)
     if extra_agents is not None:
         system.agents.extend(extra_agents)
     warmup = 0
@@ -176,13 +210,14 @@ def run_workload(workload: Union[str, WorkloadSpec], config: SystemConfig,
                  seed: int = DEFAULT_SEED,
                  warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
                  cache_engine: Optional[str] = None,
-                 dram_engine: Optional[str] = None) -> SimulationResult:
+                 dram_engine: Optional[str] = None,
+                 telemetry=None) -> SimulationResult:
     """Run one workload through one system configuration."""
     spec = get_workload(workload) if isinstance(workload, str) else workload
     trace = build_trace(spec, num_accesses, num_cores, seed)
     return run_trace(trace, config, workload_name=spec.name,
                      warmup_fraction=warmup_fraction, cache_engine=cache_engine,
-                     dram_engine=dram_engine)
+                     dram_engine=dram_engine, telemetry=telemetry)
 
 
 def run_workload_streaming(workload: Union[str, WorkloadSpec], config: SystemConfig,
@@ -192,7 +227,8 @@ def run_workload_streaming(workload: Union[str, WorkloadSpec], config: SystemCon
                            warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
                            chunk_size: int = DEFAULT_CHUNK_SIZE,
                            cache_engine: Optional[str] = None,
-                           dram_engine: Optional[str] = None) -> SimulationResult:
+                           dram_engine: Optional[str] = None,
+                           telemetry=None) -> SimulationResult:
     """Run one workload at bounded memory: generator chunks feed the simulator.
 
     The trace is never materialized (neither as objects nor as one large
@@ -212,13 +248,14 @@ def run_workload_streaming(workload: Union[str, WorkloadSpec], config: SystemCon
         return run_scenario(workload, config, seed=seed,
                             warmup_fraction=warmup_fraction,
                             chunk_size=chunk_size, cache_engine=cache_engine,
-                            dram_engine=dram_engine)
+                            dram_engine=dram_engine, telemetry=telemetry)
     spec = get_workload(workload) if isinstance(workload, str) else workload
     chunks = iter_trace_chunks(spec, num_accesses, num_cores=num_cores,
                                seed=seed, chunk_size=chunk_size)
     return run_trace(chunks, config, workload_name=spec.name,
                      warmup_fraction=warmup_fraction, num_accesses=num_accesses,
-                     cache_engine=cache_engine, dram_engine=dram_engine)
+                     cache_engine=cache_engine, dram_engine=dram_engine,
+                     telemetry=telemetry)
 
 
 def run_configs(workload: Union[str, WorkloadSpec], configs: Iterable[SystemConfig],

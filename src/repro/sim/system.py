@@ -25,6 +25,7 @@ breakdown the experiments consume.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional
 
 import numpy as np
@@ -57,6 +58,7 @@ from repro.prefetch.stride import StridePrefetcher
 from repro.sim.config import SystemConfig
 from repro.sim.results import SimulationResult
 from repro.sim.timing import TimingModel
+from repro.telemetry.recorder import resolve_telemetry
 from repro.trace.buffer import TraceBuffer, as_chunk_iterator
 from repro.workloads.density import RegionDensityProfiler
 
@@ -93,9 +95,15 @@ class ServerSystem:
 
     def __init__(self, config: SystemConfig, workload_name: str = "workload",
                  cache_engine: Optional[str] = None,
-                 dram_engine: Optional[str] = None) -> None:
+                 dram_engine: Optional[str] = None,
+                 telemetry=None) -> None:
         self.config = config
         self.workload_name = workload_name
+        #: Observability recorder (``None`` when telemetry is off -- the
+        #: run loop tests this once per chunk and otherwise executes the
+        #: exact pre-telemetry code path).  Resolution: explicit argument >
+        #: ``REPRO_TELEMETRY`` environment variable > off.
+        self.telemetry = resolve_telemetry(telemetry)
         params = config.system
 
         self.cache_engine = cache_engine_name(cache_engine)
@@ -274,6 +282,10 @@ class ServerSystem:
 
         if isinstance(trace, Scenario):
             trace = iter_scenario_chunks(trace)
+        recorder = self.telemetry
+        if recorder is not None:
+            recorder.on_run_start(self, self.workload_name)
+            return self._run_recorded(trace, warmup_accesses, recorder)
         self._refresh_agent_hooks()
         processed = 0
         measuring = False
@@ -303,6 +315,70 @@ class ServerSystem:
         self._flush_dram()
         self.memory.drain()
         return self._collect_results()
+
+    def _run_recorded(self, trace, warmup_accesses: int, recorder) -> SimulationResult:
+        """The :meth:`run` loop with telemetry hooks at chunk boundaries.
+
+        Mirrors :meth:`run` exactly -- same warmup split, same chunk calls,
+        same drain order -- with one recorder sample per chunk boundary and
+        wall-time stage accounting folded per stage (never per access).
+        Bit-identity of the returned result with the unobserved loop is a
+        tested invariant.
+        """
+        self._refresh_agent_hooks()
+        processed = 0
+        measuring = False
+        timing = recorder.wants_spans
+        clock = time.perf_counter
+        source = iter(as_chunk_iterator(trace))
+        while True:
+            tick = clock()
+            chunk = next(source, None)
+            if timing:
+                recorder.add_stage("chunk_generation", clock() - tick)
+            if chunk is None:
+                break
+            if not len(chunk):
+                continue
+            if warmup_accesses and not measuring:
+                if processed + len(chunk) > warmup_accesses:
+                    split = warmup_accesses - processed
+                    tick = clock()
+                    self._run_chunk(chunk[:split])
+                    if timing:
+                        recorder.add_stage("chunk_service", clock() - tick)
+                    processed += split
+                    recorder.on_chunk(self)
+                    self.begin_measurement()
+                    recorder.on_measurement_start(self)
+                    measuring = True
+                    chunk = chunk[split:]
+                elif processed + len(chunk) == warmup_accesses:
+                    tick = clock()
+                    self._run_chunk(chunk)
+                    if timing:
+                        recorder.add_stage("chunk_service", clock() - tick)
+                    processed += len(chunk)
+                    recorder.on_chunk(self)
+                    self.begin_measurement()
+                    recorder.on_measurement_start(self)
+                    measuring = True
+                    continue
+            tick = clock()
+            self._run_chunk(chunk)
+            if timing:
+                recorder.add_stage("chunk_service", clock() - tick)
+            processed += len(chunk)
+            recorder.on_chunk(self)
+        if warmup_accesses and processed < warmup_accesses:
+            raise ValueError("trace shorter than the requested warmup interval")
+        with recorder.span("dram_drain"):
+            self._flush_dram()
+            self.memory.drain()
+        with recorder.span("result_assembly"):
+            result = self._collect_results()
+        recorder.on_run_end(self)
+        return result
 
     def _run_chunk(self, chunk: TraceBuffer) -> None:
         """Interpret one columnar chunk row by row.

@@ -1,0 +1,237 @@
+"""Telemetry mode resolution and the per-run recorder.
+
+Telemetry follows the engine-selection idiom (:mod:`repro.cache.engine`):
+an explicit argument beats the ``REPRO_TELEMETRY`` environment variable,
+which beats the default (``off``).  :func:`resolve_telemetry` returns
+``None`` for ``off`` -- the simulator's hot path tests ``recorder is
+None`` once per chunk and otherwise runs the exact same code as before, so
+the default costs nothing.
+
+A :class:`TelemetryRecorder` is caller-owned and *never* attached to a
+:class:`~repro.sim.results.SimulationResult`: result fingerprints cover
+every result field, and the off/full bit-identity guarantee (tested and
+gated in CI) depends on telemetry staying out of the result object.
+
+Sampling discipline: one sample per streaming chunk boundary, never per
+access.  Every sampled value is a counter the system already maintains as a
+plain int / flat NumPy array (``ServerSystem.counters``, the flat DRAM
+channel count arrays) -- the recorder only reads, subtracts the previous
+snapshot and appends one row.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.telemetry.events import EVENT_SCHEMA_VERSION, write_events_jsonl
+from repro.telemetry.spans import SpanTracer
+from repro.telemetry.timeline import TIMELINE_COLUMNS, Timeline
+
+__all__ = [
+    "DEFAULT_MODE",
+    "MODES",
+    "TELEMETRY_ENV_VAR",
+    "TelemetryRecorder",
+    "resolve_telemetry",
+]
+
+#: Environment variable consulted when no explicit mode is given.
+TELEMETRY_ENV_VAR = "REPRO_TELEMETRY"
+
+#: Recognised telemetry modes, cheapest first.
+MODES = ("off", "chunks", "spans", "full")
+
+DEFAULT_MODE = "off"
+
+
+def resolve_telemetry(
+    telemetry: "Union[None, str, TelemetryRecorder]" = None,
+) -> "Optional[TelemetryRecorder]":
+    """Resolve a telemetry selection to a recorder (or ``None`` for off).
+
+    Accepts ``None`` (consult ``REPRO_TELEMETRY``, default ``off``), a mode
+    name from :data:`MODES`, or an existing :class:`TelemetryRecorder`
+    (returned as-is, so one recorder can observe several runs).  Unknown
+    mode names raise :class:`ValueError` -- a typo must not silently
+    disable telemetry the caller asked for.
+    """
+    if isinstance(telemetry, TelemetryRecorder):
+        return telemetry
+    if telemetry is None:
+        telemetry = os.environ.get(TELEMETRY_ENV_VAR, "").strip() or DEFAULT_MODE
+    if telemetry not in MODES:
+        raise ValueError(
+            f"unknown telemetry mode {telemetry!r}; expected one of "
+            f"{', '.join(MODES)}")
+    if telemetry == "off":
+        return None
+    return TelemetryRecorder(mode=telemetry)
+
+
+def _queue_occupancy(memory) -> int:
+    """Transfers enqueued but not yet served, across every channel."""
+    pending = getattr(memory, "pending_count", None)
+    if pending is not None:
+        return pending()
+    return sum(len(controller.queue) for controller in memory.controllers)
+
+
+class TelemetryRecorder:
+    """Collects timeline samples and span events for one or more runs.
+
+    ``mode`` decides what is recorded: ``chunks`` keeps only the timeline,
+    ``spans`` only the span/mark event log, ``full`` both.  The simulator
+    calls the ``on_*`` hooks; everything else is for consumers.
+    """
+
+    def __init__(self, mode: str = "full") -> None:
+        if mode not in MODES or mode == "off":
+            raise ValueError(
+                f"recorder mode must be one of {', '.join(MODES[1:])}; "
+                f"got {mode!r} (off means: pass no recorder)")
+        self.mode = mode
+        self.wants_samples = mode in ("chunks", "full")
+        self.wants_spans = mode in ("spans", "full")
+        self.timeline = Timeline() if self.wants_samples else None
+        self.tracer = SpanTracer() if self.wants_spans else None
+        self.created_unix = time.time()
+        #: Cumulative counter snapshot at the previous sample (or baseline).
+        self._prev: Optional[tuple] = None
+        #: Accesses interpreted since the recorder first saw the system --
+        #: accumulated from deltas, so it stays monotone across the counter
+        #: reset at ``begin_measurement`` and aligns timelines recorded at
+        #: different chunk sizes.
+        self._accesses_total = 0.0
+        self._runs = 0
+
+    # ------------------------------------------------------------------ #
+    # Simulator hooks
+    # ------------------------------------------------------------------ #
+    def _totals(self, system) -> tuple:
+        """Cumulative hot-counter totals, in ``DELTA_COLUMNS`` order."""
+        counters = system.counters
+        dram = system.memory.aggregate_stats()
+        return (
+            counters["accesses"],
+            system._instructions,
+            counters["l1_hits"],
+            counters["llc_hits"],
+            counters["llc_misses"],
+            counters["demand_reads"],
+            counters["covered_reads"],
+            counters["demand_writebacks"],
+            counters["bulk_reads"],
+            counters["prefetch_reads"],
+            counters["bulk_writebacks"],
+            counters["eager_writebacks"],
+            dram["accesses"],
+            dram["row_hits"],
+            dram["row_misses"],
+            dram["row_conflicts"],
+        )
+
+    def on_run_start(self, system, workload: str = "") -> None:
+        """Baseline the counter snapshot before the first chunk runs."""
+        self._runs += 1
+        if self.wants_samples:
+            self._prev = self._totals(system)
+        if self.tracer is not None:
+            self.tracer.mark("run_start", run=self._runs)
+
+    def on_chunk(self, system) -> None:
+        """Append one timeline sample at a streaming chunk boundary."""
+        if not self.wants_samples:
+            return
+        totals = self._totals(system)
+        prev = self._prev
+        if prev is None:
+            prev = (0.0,) * len(totals)
+        deltas = [now - before for now, before in zip(totals, prev)]
+        self._prev = totals
+        self._accesses_total += deltas[0]
+        self.timeline.append(
+            [system._core_cycle, self._accesses_total,
+             _queue_occupancy(system.memory)] + deltas)
+
+    def on_measurement_start(self, system) -> None:
+        """Re-baseline after ``begin_measurement`` reset the counters."""
+        if self.wants_samples:
+            self._prev = self._totals(system)
+        if self.tracer is not None:
+            self.tracer.mark("measurement_start",
+                             accesses_total=self._accesses_total)
+
+    def on_run_end(self, system) -> None:
+        """Flush aggregated stage spans and stamp the run summary mark."""
+        if self.tracer is not None:
+            self.tracer.flush_stages()
+            self.tracer.mark(
+                "run_end",
+                run=self._runs,
+                core_cycles=system._core_cycle,
+                instructions=system._instructions,
+            )
+
+    def note_phase(self, name: str, accesses: int) -> None:
+        """Record a scenario phase boundary (cumulative trace position)."""
+        if self.tracer is not None:
+            self.tracer.mark("phase", phase=name, accesses=accesses)
+
+    # ------------------------------------------------------------------ #
+    # Span helpers (no-ops when the mode records no spans)
+    # ------------------------------------------------------------------ #
+    def add_stage(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Fold hot-loop stage time into the per-stage accumulators."""
+        if self.tracer is not None:
+            self.tracer.add_stage(name, seconds, calls)
+
+    @contextmanager
+    def span(self, name: str, **counters: float):
+        """Wrap a coarse pipeline stage (trace compile, store I/O, ...)."""
+        if self.tracer is None:
+            yield
+            return
+        with self.tracer.span(name, **counters):
+            yield
+
+    def mark(self, name: str, **fields) -> None:
+        """Record an instantaneous annotation if spans are enabled."""
+        if self.tracer is not None:
+            self.tracer.mark(name, **fields)
+
+    # ------------------------------------------------------------------ #
+    # Output
+    # ------------------------------------------------------------------ #
+    def events(self) -> list:
+        """The full event stream: one ``meta`` record, samples, spans."""
+        stream = [{
+            "event": "meta",
+            "schema": EVENT_SCHEMA_VERSION,
+            "mode": self.mode,
+            "columns": list(TIMELINE_COLUMNS),
+            "created_unix": self.created_unix,
+        }]
+        if self.timeline is not None:
+            for index, row in enumerate(self.timeline.rows()):
+                stream.append({
+                    "event": "sample",
+                    "i": index,
+                    "data": dict(zip(TIMELINE_COLUMNS, row)),
+                })
+        if self.tracer is not None:
+            stream.extend(self.tracer.span_events())
+        return stream
+
+    def write_jsonl(self, path: Union[str, Path]) -> Path:
+        """Serialise :meth:`events` to a JSONL file and return its path."""
+        return write_events_jsonl(self.events(), path)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        samples = len(self.timeline) if self.timeline is not None else 0
+        spans = len(self.tracer.events) if self.tracer is not None else 0
+        return (f"TelemetryRecorder(mode={self.mode!r}, "
+                f"samples={samples}, events={spans})")

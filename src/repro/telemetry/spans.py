@@ -1,0 +1,115 @@
+"""Lightweight span tracing for the simulation pipeline.
+
+A :class:`SpanTracer` records begin/end spans around pipeline stages (trace
+compilation, chunk generation, chunk service, DRAM drain, result assembly,
+store I/O) with wall time and optional per-span counters, plus instantaneous
+*marks* (scenario phase boundaries, measurement start).  Everything is kept
+as plain dict events so the recorder can stream them out as JSONL
+(:mod:`repro.telemetry.events`).
+
+Timestamps are ``time.perf_counter`` seconds relative to the tracer's
+creation -- monotonic and cheap; the absolute wall-clock anchor lives in the
+event log's ``meta`` record.
+
+The tracer deliberately has no notion of the simulator: the telemetry
+recorder decides where stage boundaries fall.  Hot-path discipline is the
+caller's job -- spans wrap *stages* (per chunk at the finest), never
+individual accesses.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, List
+
+__all__ = [
+    "SpanTracer",
+]
+
+
+class SpanTracer:
+    """Accumulates span and mark events with wall-clock timing."""
+
+    def __init__(self) -> None:
+        self.origin = time.perf_counter()
+        self.events: List[dict] = []
+        # Aggregated stage accumulators: repeated fine-grained stages (one
+        # chunk each) fold into one span per stage name instead of one event
+        # per chunk, keeping event logs bounded for million-access runs.
+        self._stage_seconds: Dict[str, float] = {}
+        self._stage_calls: Dict[str, int] = {}
+        self._stage_first_start: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Discrete spans
+    # ------------------------------------------------------------------ #
+    def begin(self) -> float:
+        """Start a span; returns the token :meth:`end` consumes."""
+        return time.perf_counter()
+
+    def end(self, name: str, token: float, **counters: float) -> dict:
+        """Close a span opened by :meth:`begin` and record it."""
+        now = time.perf_counter()
+        event = {
+            "event": "span",
+            "name": name,
+            "start_s": token - self.origin,
+            "duration_s": now - token,
+            "counters": dict(counters),
+        }
+        self.events.append(event)
+        return event
+
+    @contextmanager
+    def span(self, name: str, **counters: float):
+        """Context manager form of :meth:`begin`/:meth:`end`."""
+        token = self.begin()
+        try:
+            yield
+        finally:
+            self.end(name, token, **counters)
+
+    # ------------------------------------------------------------------ #
+    # Aggregated stages
+    # ------------------------------------------------------------------ #
+    def add_stage(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Fold ``seconds`` of work into the running total of stage ``name``."""
+        if name not in self._stage_seconds:
+            self._stage_seconds[name] = 0.0
+            self._stage_calls[name] = 0
+            self._stage_first_start[name] = time.perf_counter() - seconds
+        self._stage_seconds[name] += seconds
+        self._stage_calls[name] += calls
+
+    def flush_stages(self) -> None:
+        """Emit one span per accumulated stage and reset the accumulators."""
+        for name in list(self._stage_seconds):
+            self.events.append({
+                "event": "span",
+                "name": name,
+                "start_s": self._stage_first_start[name] - self.origin,
+                "duration_s": self._stage_seconds[name],
+                "counters": {"calls": self._stage_calls[name]},
+            })
+        self._stage_seconds.clear()
+        self._stage_calls.clear()
+        self._stage_first_start.clear()
+
+    # ------------------------------------------------------------------ #
+    # Marks
+    # ------------------------------------------------------------------ #
+    def mark(self, name: str, **fields: float) -> dict:
+        """Record an instantaneous event (phase boundary, reset, ...)."""
+        event = {
+            "event": "mark",
+            "name": name,
+            "t_s": time.perf_counter() - self.origin,
+            "fields": dict(fields),
+        }
+        self.events.append(event)
+        return event
+
+    def span_events(self) -> List[dict]:
+        """Every recorded span/mark event, in append order."""
+        return list(self.events)

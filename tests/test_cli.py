@@ -157,3 +157,84 @@ class TestScenarioCommands:
         assert status == 0
         assert "row_buffer_hit_ratio" in out
         assert "idle-cores" in out
+
+
+class TestTelemetryCli:
+    def test_run_with_telemetry_prints_summary(self, capsys):
+        status, out = run_cli(capsys, "run", "web_search", "--system", "bump",
+                              "--accesses", "4000", "--telemetry", "full")
+        assert status == 0
+        assert "telemetry[full]:" in out
+        assert "sample(s)" in out
+
+    def test_events_flag_implies_full_and_report_renders_the_log(
+            self, capsys, tmp_path):
+        log = tmp_path / "run.jsonl"
+        status, out = run_cli(capsys, "run", "web_search", "--system", "bump",
+                              "--accesses", "4000", "--events", str(log))
+        assert status == 0
+        assert "telemetry[full]:" in out
+        assert log.exists()
+
+        status, out = run_cli(capsys, "report", str(log))
+        assert status == 0
+        assert "cycle" in out          # timeline table
+        assert "chunk_service" in out  # aggregated stage span
+        assert "run_start" in out      # mark table
+
+        status, out = run_cli(capsys, "report", str(log), "--json")
+        assert status == 0
+        import json
+
+        summary = json.loads(out)
+        assert summary["mode"] == "full"
+        assert summary["samples"] >= 1
+
+    def test_scenario_run_accepts_telemetry(self, capsys):
+        status, out = run_cli(capsys, "scenario", "run", "phase-change",
+                              "--system", "base_open", "--scale", "0.002",
+                              "--telemetry", "spans")
+        assert status == 0
+        assert "telemetry[spans]:" in out
+
+    def test_report_caches_renders_counters(self, capsys):
+        status, out = run_cli(capsys, "report", "--caches")
+        assert status == 0
+        assert "trace cache" in out
+        for key in ("entries", "capacity", "hits", "misses", "hit_ratio"):
+            assert key in out
+
+    def test_report_campaign_metrics_file(self, capsys, tmp_path):
+        status, out = run_cli(capsys, "campaign",
+                              "--workloads", "web_search",
+                              "--systems", "base_open,bump",
+                              "--accesses", "1500",
+                              "--store", str(tmp_path / "artifacts"), "--quiet")
+        assert status == 0
+        assert "campaign metrics:" in out
+        metrics_files = list((tmp_path / "artifacts" / "metrics").glob("*.json"))
+        assert len(metrics_files) == 1
+
+        status, out = run_cli(capsys, "report", str(metrics_files[0]))
+        assert status == 0
+        assert "job(s)" in out
+        assert "worker utilization" in out
+        assert "web_search" in out
+
+    def test_report_without_arguments_exits(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            run_cli(capsys, "report")
+        assert "nothing to report" in str(err.value)
+
+    def test_report_rejects_unreadable_inputs(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "report", str(tmp_path / "missing.jsonl"))
+        bad = tmp_path / "bad.json"
+        bad.write_text("[]")
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "report", str(bad))
+
+    def test_run_rejects_unknown_telemetry_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "web_search",
+                                       "--telemetry", "loud"])

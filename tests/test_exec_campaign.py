@@ -205,3 +205,95 @@ class TestCampaignResult:
         base = outcome.get("web_search", "base_open", seed=1)
         bump = outcome.get("web_search", "bump", seed=1)
         assert base.counters["accesses"] == bump.counters["accesses"]
+
+
+class TestCampaignMetrics:
+    def test_serial_campaign_records_per_job_cost(self, store):
+        jobs = small_grid(seeds=(1,)).expand()  # 6 jobs
+        result = Campaign(jobs, store=store, workers=1).run()
+        assert len(result.job_metrics) == len(jobs)
+        assert all(m.source == "simulated" for m in result.job_metrics)
+        assert all(m.wall_seconds > 0 for m in result.job_metrics)
+        assert all(m.peak_rss_bytes > 0 for m in result.job_metrics)
+        document = result.metrics
+        assert document["jobs_simulated"] == len(jobs)
+        assert document["workers"] == 1
+        assert 0.0 < document["worker_utilization"] <= 1.0
+        assert document["store"]["puts"] > 0
+
+    def test_metrics_document_is_persisted_next_to_the_store(self, store):
+        jobs = small_grid(seeds=(1,)).expand()
+        result = Campaign(jobs, store=store, workers=1).run()
+        from repro.telemetry import read_campaign_metrics
+
+        assert result.metrics_path is not None
+        assert result.metrics_path.parent == store.root / "metrics"
+        loaded = read_campaign_metrics(result.metrics_path)
+        assert loaded["jobs_total"] == len(jobs)
+        # Re-running the identical sweep overwrites its own document.
+        again = Campaign(jobs, store=store, workers=1).run()
+        assert again.metrics_path == result.metrics_path
+
+    def test_all_cached_rerun_reports_zero_utilization(self, store):
+        jobs = small_grid(seeds=(1,)).expand()
+        Campaign(jobs, store=store, workers=1).run()
+        rerun = Campaign(jobs, store=store, workers=1).run()
+        assert rerun.metrics["jobs_from_store"] == len(jobs)
+        assert rerun.metrics["worker_utilization"] == 0.0
+        assert all(m.wall_seconds == 0.0 for m in rerun.job_metrics)
+
+    def test_storeless_campaign_builds_but_does_not_persist_metrics(self):
+        jobs = small_grid(seeds=(1,)).expand()[:2]
+        result = Campaign(jobs, store=None, workers=1).run()
+        assert result.metrics_path is None
+        assert result.metrics["jobs_total"] == 2
+        assert "store" not in result.metrics
+
+    def test_parallel_campaign_attributes_work_to_worker_pids(self, store):
+        jobs = small_grid(seeds=(1,)).expand()
+        result = Campaign(jobs, store=store, workers=2).run()
+        assert len(result.job_metrics) == len(jobs)
+        by_pid = result.metrics["wall_seconds_by_pid"]
+        assert len(by_pid) >= 1
+        assert all(seconds > 0 for seconds in by_pid.values())
+
+
+class TestConsoleProgressEta:
+    def _progress(self):
+        import io
+
+        from repro.exec.progress import ConsoleProgress
+
+        stream = io.StringIO()
+        return ConsoleProgress(stream=stream), stream
+
+    def _job(self):
+        return small_grid(seeds=(1,)).expand()[0]
+
+    def test_rate_and_eta_appear_mid_campaign(self):
+        progress, stream = self._progress()
+        progress.on_start(total_jobs=4, cached_jobs=0, workers=1)
+        progress._start -= 2.0  # pretend two seconds elapsed
+        progress.on_job_done(self._job(), "simulated", completed=1, total=4)
+        line = stream.getvalue().splitlines()[-1]
+        assert "job/s" in line
+        assert "eta" in line
+
+    def test_last_job_drops_the_eta_but_keeps_the_rate(self):
+        progress, stream = self._progress()
+        progress.on_start(total_jobs=2, cached_jobs=0, workers=1)
+        progress._start -= 1.0
+        progress.on_job_done(self._job(), "simulated", completed=2, total=2)
+        line = stream.getvalue().splitlines()[-1]
+        assert "job/s" in line
+        assert "eta" not in line
+
+    def test_instantaneous_all_cached_campaign_divides_by_nothing(self, monkeypatch):
+        import repro.exec.progress as progress_module
+
+        monkeypatch.setattr(progress_module.time, "perf_counter", lambda: 123.0)
+        progress, stream = self._progress()
+        progress.on_start(total_jobs=3, cached_jobs=3, workers=1)
+        progress.on_job_done(self._job(), "store", completed=1, total=3)
+        line = stream.getvalue().splitlines()[-1]
+        assert "job/s" not in line and "eta" not in line

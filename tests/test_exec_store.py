@@ -179,3 +179,37 @@ class TestPruneOrdering:
         bounded._touch(tmp_path / "floor" / "results" / "missing.pkl", 4096)
         assert bounded._approx_entries == 0
         assert bounded._approx_bytes == 0
+
+
+class TestObservabilityCounters:
+    def test_stats_reports_every_counter(self, store):
+        expected = {"hits", "misses", "stores", "puts", "evictions", "corrupt",
+                    "prune_bytes_reclaimed", "touch_failures",
+                    "entries", "bytes"}
+        assert expected <= set(store.stats())
+
+    def test_puts_and_hits_count_artifact_traffic(self, store):
+        store.put_result("a" * 32, {"x": 1})
+        store.put_trace("b" * 32, _small_trace())
+        assert store.get_result("a" * 32) == {"x": 1}
+        assert store.get_result("f" * 32) is None
+        stats = store.stats()
+        assert stats["puts"] == 2
+        assert stats["puts"] == stats["stores"]  # "stores" predates "puts"
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+
+    def test_prune_accounts_reclaimed_bytes(self, tmp_path):
+        bounded = ArtifactStore(tmp_path / "reclaim", max_entries=2)
+        digests = [f"{i:032x}" for i in range(4)]
+        for index, digest in enumerate(digests):
+            bounded.put_result(digest, {"index": index})
+        stats = bounded.stats()
+        assert stats["entries"] == 2
+        assert stats["evictions"] == 2
+        assert stats["prune_bytes_reclaimed"] > 0
+
+    def test_touch_failures_are_counted(self, tmp_path):
+        bounded = ArtifactStore(tmp_path / "count", max_entries=2)
+        bounded._touch(tmp_path / "count" / "results" / "missing.pkl", 64)
+        assert bounded.stats()["touch_failures"] == 1

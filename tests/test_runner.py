@@ -155,3 +155,33 @@ class TestTraceCacheAliasing:
         result = run_workload("web_search", base_open(), num_accesses=1000,
                               num_cores=4, seed=3, warmup_fraction=0.0)
         assert result.counters["accesses"] == 1000
+
+
+class TestTraceCacheCounters:
+    def test_info_reports_hits_misses_and_derived_ratio(self):
+        info = trace_cache_info()
+        assert info["hits"] == 0
+        assert info["misses"] == 0
+        assert info["hit_ratio"] == 0.0  # no lookups yet, no division
+        build_trace("web_search", 2000)
+        build_trace("web_search", 2000)
+        build_trace("web_serving", 2000)
+        info = trace_cache_info()
+        assert info["misses"] == 2
+        assert info["hits"] == 1
+        assert info["hit_ratio"] == pytest.approx(1 / 3)
+
+    def test_cache_bypass_does_not_count_as_a_lookup(self):
+        build_trace("web_search", 2000, use_cache=False)
+        info = trace_cache_info()
+        assert info["hits"] == 0
+        assert info["misses"] == 0
+
+    def test_clear_resets_the_counters(self):
+        build_trace("web_search", 2000)
+        build_trace("web_search", 2000)
+        clear_trace_cache()
+        info = trace_cache_info()
+        assert info["hits"] == 0
+        assert info["misses"] == 0
+        assert info["entries"] == 0

@@ -1,0 +1,84 @@
+"""Telemetry must be purely observational.
+
+A run with ``telemetry="full"`` produces a :class:`SimulationResult` whose
+content fingerprint is bit-identical to the same run with telemetry off --
+across every workload, every named system configuration, both cache
+engines, both DRAM engines, the streaming path and the scenario runner.
+This is the invariant that keeps the artifact store sound (fingerprints
+cover every result field) and is additionally gated in CI by
+``benchmarks/bench_telemetry.py``.
+"""
+
+import pytest
+
+from repro.exec.campaign import result_fingerprint
+from repro.scenario import get_scenario, run_scenario
+from repro.sim.config import base_open, bump_system, named_configs
+from repro.sim.runner import build_trace, run_trace, run_workload_streaming
+from repro.telemetry import TelemetryRecorder
+from repro.workloads import WORKLOADS
+
+ACCESSES = 2500
+CONFIGS = sorted(named_configs())
+
+
+def _digests(trace, config, **kwargs):
+    off = run_trace(trace, config, telemetry="off", **kwargs)
+    recorder = TelemetryRecorder("full")
+    full = run_trace(trace, config, telemetry=recorder, **kwargs)
+    assert len(recorder.timeline) >= 1  # telemetry actually recorded
+    return result_fingerprint(off), result_fingerprint(full)
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+@pytest.mark.parametrize("config_name", CONFIGS)
+def test_full_is_bit_identical_to_off(workload, config_name):
+    trace = build_trace(workload, ACCESSES)
+    config = named_configs()[config_name]
+    off, full = _digests(trace, config)
+    assert off == full
+
+
+@pytest.mark.parametrize("cache_engine", ["flat", "dict"])
+@pytest.mark.parametrize("dram_engine", ["flat", "object"])
+def test_invariance_holds_on_every_engine_combination(cache_engine, dram_engine):
+    trace = build_trace("web_search", ACCESSES)
+    off, full = _digests(trace, bump_system(),
+                         cache_engine=cache_engine, dram_engine=dram_engine)
+    assert off == full
+
+
+def test_invariance_holds_for_streaming_runs():
+    kwargs = dict(num_accesses=4000, chunk_size=1000)
+    off = run_workload_streaming("media_streaming", base_open(),
+                                 telemetry="off", **kwargs)
+    recorder = TelemetryRecorder("full")
+    full = run_workload_streaming("media_streaming", base_open(),
+                                  telemetry=recorder, **kwargs)
+    assert len(recorder.timeline) >= 4
+    assert result_fingerprint(off) == result_fingerprint(full)
+
+
+def test_invariance_holds_for_scenarios_and_phases_are_marked():
+    scenario = get_scenario("phase-change", scale=0.01)
+    off = run_scenario(scenario, bump_system(), telemetry="off")
+    recorder = TelemetryRecorder("full")
+    full = run_scenario(scenario, bump_system(), telemetry=recorder)
+    assert result_fingerprint(off) == result_fingerprint(full)
+    phases = [e for e in recorder.events()
+              if e["event"] == "mark" and e["name"] == "phase"]
+    assert [m["fields"]["phase"] for m in phases] == \
+        [phase.name for phase in scenario.phases]
+    boundaries = [m["fields"]["accesses"] for m in phases]
+    assert boundaries == sorted(boundaries)
+    assert boundaries[-1] == scenario.total_accesses
+
+
+def test_chunks_and_spans_modes_are_also_invariant():
+    trace = build_trace("online_analytics", ACCESSES)
+    baseline = result_fingerprint(run_trace(trace, bump_system(),
+                                            telemetry="off"))
+    for mode in ("chunks", "spans"):
+        observed = run_trace(trace, bump_system(),
+                             telemetry=TelemetryRecorder(mode))
+        assert result_fingerprint(observed) == baseline
