@@ -71,7 +71,7 @@ from repro.workloads import (
     iter_trace_chunks,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "BuMPConfig",

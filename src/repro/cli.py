@@ -45,6 +45,7 @@ from repro.exec.store import ArtifactStore, default_store
 from repro.scenario.catalog import get_scenario, scenario_names
 from repro.scenario.runner import run_scenario
 from repro.sim.config import extended_configs, named_configs
+from repro.sim.interp import INTERPS
 from repro.sim.runner import build_trace, run_trace, trace_cache_info
 from repro.telemetry import MODES as TELEMETRY_MODES
 from repro.telemetry import (
@@ -158,6 +159,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     result = run_trace(trace, config, workload_name=args.workload,
                        warmup_fraction=args.warmup,
                        dram_engine=args.dram_engine,
+                       interp=args.interp,
                        telemetry=recorder)
     _print(f"{display_name(args.workload)} under {config.name}")
     _print(format_table(_result_rows(result), headers=["metric", "value"]))
@@ -178,7 +180,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
     for config in configs:
         result = run_trace(trace, config, workload_name=args.workload,
                            warmup_fraction=args.warmup,
-                           dram_engine=args.dram_engine)
+                           dram_engine=args.dram_engine,
+                           interp=args.interp)
         summary = result.summary()
         rows.append([config.name] + [f"{summary[metric]:.4g}" for metric in metrics])
     _print(f"{display_name(args.workload)} ({args.accesses} accesses)")
@@ -310,6 +313,7 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
                           chunk_size=args.chunk_size,
                           cache_engine=args.engine,
                           dram_engine=args.dram_engine,
+                          interp=args.interp,
                           telemetry=recorder)
     _print(f"{scenario.name} ({scenario.total_accesses} accesses) "
            f"under {config.name}")
@@ -477,6 +481,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--dram-engine", choices=["flat", "object"], default=None,
                      help="DRAM engine (default: REPRO_DRAM_ENGINE or flat; "
                           "results are bit-identical)")
+    run.add_argument("--interp", choices=list(INTERPS), default=None,
+                     help="batch interpreter (default: REPRO_INTERP or "
+                          "vector; results are bit-identical)")
     run.add_argument("--telemetry", choices=list(TELEMETRY_MODES), default=None,
                      help="observability mode (default: REPRO_TELEMETRY or "
                           "off; results are bit-identical)")
@@ -495,6 +502,9 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--dram-engine", choices=["flat", "object"], default=None,
                          help="DRAM engine (default: REPRO_DRAM_ENGINE or "
                               "flat; results are bit-identical)")
+    compare.add_argument("--interp", choices=list(INTERPS), default=None,
+                         help="batch interpreter (default: REPRO_INTERP or "
+                              "vector; results are bit-identical)")
     compare.set_defaults(handler=cmd_compare)
 
     campaign = subparsers.add_parser(
@@ -559,6 +569,9 @@ def build_parser() -> argparse.ArgumentParser:
                               default=None,
                               help="DRAM engine (default: REPRO_DRAM_ENGINE "
                                    "or flat; results are bit-identical)")
+    scenario_run.add_argument("--interp", choices=list(INTERPS), default=None,
+                              help="batch interpreter (default: REPRO_INTERP "
+                                   "or vector; results are bit-identical)")
     scenario_run.add_argument("--telemetry", choices=list(TELEMETRY_MODES),
                               default=None,
                               help="observability mode (default: "

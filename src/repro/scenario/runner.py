@@ -34,6 +34,7 @@ def run_scenario(scenario: Union[str, Scenario], config: SystemConfig,
                  chunk_size: int = DEFAULT_CHUNK_SIZE,
                  cache_engine: Optional[str] = None,
                  dram_engine: Optional[str] = None,
+                 interp: Optional[str] = None,
                  scale: float = 1.0,
                  extra_agents: Optional[Iterable] = None,
                  telemetry=None) -> SimulationResult:
@@ -67,6 +68,7 @@ def run_scenario(scenario: Union[str, Scenario], config: SystemConfig,
                      extra_agents=extra_agents,
                      cache_engine=cache_engine,
                      dram_engine=dram_engine,
+                     interp=interp,
                      telemetry=recorder)
 
 
@@ -77,6 +79,7 @@ def run_scenario_configs(scenario: Union[str, Scenario],
                          chunk_size: int = DEFAULT_CHUNK_SIZE,
                          cache_engine: Optional[str] = None,
                          dram_engine: Optional[str] = None,
+                         interp: Optional[str] = None,
                          scale: float = 1.0,
                          telemetry=None) -> Dict[str, SimulationResult]:
     """Run one scenario under several configurations over the identical trace.
@@ -93,5 +96,5 @@ def run_scenario_configs(scenario: Union[str, Scenario],
         results[config.name] = run_scenario(
             resolved, config, seed=seed, warmup_fraction=warmup_fraction,
             chunk_size=chunk_size, cache_engine=cache_engine,
-            dram_engine=dram_engine, telemetry=telemetry)
+            dram_engine=dram_engine, interp=interp, telemetry=telemetry)
     return results

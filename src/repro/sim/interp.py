@@ -1,0 +1,82 @@
+"""Trace-interpreter selection.
+
+Two interchangeable interpreters drive the flat-engine hot path and produce
+bit-identical simulation results (the parity suites assert this across the
+workload x config matrix, the scenario catalog and randomized property
+traces):
+
+``vector`` (default)
+    The two-pass batch interpreter (:meth:`ServerSystem._run_chunk_vector`):
+    pass 1 resolves an entire chunk's L1 probes with NumPy (per-core set
+    decode, tag compare across ways) and classifies each access as a pure L1
+    hit or an *escape* (miss / eviction / agent-visible event); pass 2
+    applies all hit side effects in bulk and replays only the escape rows
+    through the scalar path, segmenting the chunk at escapes so every vector
+    segment is provably independent.
+
+``scalar``
+    The fused row loop (:meth:`ServerSystem._run_chunk_flat`), kept as the
+    reference baseline the same way the ``dict`` cache engine and ``object``
+    DRAM engine are.
+
+Select globally with the ``REPRO_INTERP`` environment variable or per run
+via the ``interp`` argument of :class:`repro.sim.system.ServerSystem` /
+:func:`repro.sim.runner.run_trace`.  The vector interpreter needs the flat
+cache arrays; under the ``dict`` cache engine the selection transparently
+falls back to ``scalar`` (mirroring the flat DRAM engine's fallback for
+ablation-only schedulers).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+__all__ = [
+    "DEFAULT_INTERP",
+    "INTERPS",
+    "INTERP_ENV_VAR",
+    "interp_name",
+    "resolve_interp",
+]
+
+#: Environment variable consulted when no explicit interpreter is requested.
+INTERP_ENV_VAR = "REPRO_INTERP"
+
+#: Interpreter used when neither the caller nor the environment picks one.
+DEFAULT_INTERP = "vector"
+
+INTERPS = ("vector", "scalar")
+
+
+def interp_name(override: Optional[str] = None) -> str:
+    """Resolve the requested interpreter name.
+
+    Priority: explicit ``override`` argument, then the ``REPRO_INTERP``
+    environment variable, then :data:`DEFAULT_INTERP`.  Unknown names fail
+    loudly so configuration typos cannot silently fall back.
+    """
+    name = override
+    if name is None:
+        name = os.environ.get(INTERP_ENV_VAR, "").strip().lower() or DEFAULT_INTERP
+    name = name.lower()
+    if name not in INTERPS:
+        raise ValueError(
+            f"unknown interpreter {name!r}; known interpreters: "
+            f"{', '.join(INTERPS)}")
+    return name
+
+
+def resolve_interp(override: Optional[str] = None,
+                   cache_engine: str = "flat") -> str:
+    """Effective interpreter for a run: the request, constrained by the engine.
+
+    The vector interpreter reads and writes the flat cache arrays directly,
+    so it only exists under the ``flat`` cache engine; any other engine runs
+    the scalar row loop regardless of the request (results are bit-identical
+    either way -- only the speed differs).
+    """
+    name = interp_name(override)
+    if name == "vector" and cache_engine != "flat":
+        return "scalar"
+    return name

@@ -138,6 +138,7 @@ def run_trace(trace: TraceLike, config: SystemConfig,
               num_accesses: Optional[int] = None,
               cache_engine: Optional[str] = None,
               dram_engine: Optional[str] = None,
+              interp: Optional[str] = None,
               telemetry=None) -> SimulationResult:
     """Run an explicit trace through one system configuration.
 
@@ -160,6 +161,9 @@ def run_trace(trace: TraceLike, config: SystemConfig,
     memory-system engine (``"flat"`` or ``"object"``; default
     ``REPRO_DRAM_ENGINE``).  Every engine combination produces bit-identical
     results -- the knobs exist for benchmarking and the parity suite.
+    ``interp`` selects the flat-engine trace interpreter (``"vector"`` or
+    ``"scalar"``; default ``REPRO_INTERP`` -- see :mod:`repro.sim.interp`),
+    also bit-identical either way.
 
     ``telemetry`` selects the observability mode (``"off"``, ``"chunks"``,
     ``"spans"``, ``"full"``, a :class:`repro.telemetry.TelemetryRecorder`
@@ -169,7 +173,7 @@ def run_trace(trace: TraceLike, config: SystemConfig,
     """
     system = ServerSystem(config, workload_name=workload_name,
                           cache_engine=cache_engine, dram_engine=dram_engine,
-                          telemetry=telemetry)
+                          interp=interp, telemetry=telemetry)
     if extra_agents is not None:
         system.agents.extend(extra_agents)
     warmup = 0
@@ -211,13 +215,14 @@ def run_workload(workload: Union[str, WorkloadSpec], config: SystemConfig,
                  warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
                  cache_engine: Optional[str] = None,
                  dram_engine: Optional[str] = None,
+                 interp: Optional[str] = None,
                  telemetry=None) -> SimulationResult:
     """Run one workload through one system configuration."""
     spec = get_workload(workload) if isinstance(workload, str) else workload
     trace = build_trace(spec, num_accesses, num_cores, seed)
     return run_trace(trace, config, workload_name=spec.name,
                      warmup_fraction=warmup_fraction, cache_engine=cache_engine,
-                     dram_engine=dram_engine, telemetry=telemetry)
+                     dram_engine=dram_engine, interp=interp, telemetry=telemetry)
 
 
 def run_workload_streaming(workload: Union[str, WorkloadSpec], config: SystemConfig,
@@ -228,6 +233,7 @@ def run_workload_streaming(workload: Union[str, WorkloadSpec], config: SystemCon
                            chunk_size: int = DEFAULT_CHUNK_SIZE,
                            cache_engine: Optional[str] = None,
                            dram_engine: Optional[str] = None,
+                           interp: Optional[str] = None,
                            telemetry=None) -> SimulationResult:
     """Run one workload at bounded memory: generator chunks feed the simulator.
 
@@ -248,14 +254,15 @@ def run_workload_streaming(workload: Union[str, WorkloadSpec], config: SystemCon
         return run_scenario(workload, config, seed=seed,
                             warmup_fraction=warmup_fraction,
                             chunk_size=chunk_size, cache_engine=cache_engine,
-                            dram_engine=dram_engine, telemetry=telemetry)
+                            dram_engine=dram_engine, interp=interp,
+                            telemetry=telemetry)
     spec = get_workload(workload) if isinstance(workload, str) else workload
     chunks = iter_trace_chunks(spec, num_accesses, num_cores=num_cores,
                                seed=seed, chunk_size=chunk_size)
     return run_trace(chunks, config, workload_name=spec.name,
                      warmup_fraction=warmup_fraction, num_accesses=num_accesses,
                      cache_engine=cache_engine, dram_engine=dram_engine,
-                     telemetry=telemetry)
+                     interp=interp, telemetry=telemetry)
 
 
 def run_configs(workload: Union[str, WorkloadSpec], configs: Iterable[SystemConfig],

@@ -1,0 +1,305 @@
+"""The vectorized batch interpreter: selection, primitives, bit-identity.
+
+The vector interpreter (``REPRO_INTERP=vector``, the default on the flat
+cache engine) classifies each chunk row as a pure L1 hit or an escape and
+applies hit side effects in bulk; the scalar interpreter replays every row
+through the fused loop.  Both must produce *identical* results -- the
+property tests here drive the interpreter through its hard regimes
+(store-heavy batches, eviction storms that invalidate classifications
+mid-segment, agent-observable traffic) and assert full result fingerprints,
+plus chunk/sub-batch boundary invariance.  The flat cache's batched
+primitives are unit-tested against a scalar replay of the same rows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.flat import FLAG_DIRTY, FlatSetAssociativeCache
+from repro.common.addressing import BLOCK_BITS
+from repro.common.params import CacheParams, SystemParams
+from repro.exec.campaign import result_fingerprint
+from repro.sim.config import base_open, named_configs
+from repro.sim.interp import (
+    DEFAULT_INTERP,
+    INTERP_ENV_VAR,
+    INTERPS,
+    interp_name,
+    resolve_interp,
+)
+from repro.sim.runner import run_trace
+from repro.sim.system import _CYCLE_CACHE_LIMIT, ServerSystem
+from repro.trace.buffer import TraceBuffer
+
+CORES = 8
+
+
+def _random_trace(accesses: int, blocks_per_core: int,
+                  store_fraction: float = 0.3, seed: int = 11,
+                  cores: int = CORES) -> TraceBuffer:
+    """Per-core-disjoint random trace with a controlled footprint."""
+    rng = np.random.default_rng(seed)
+    core = rng.integers(0, cores, accesses).astype(np.int32)
+    offsets = rng.integers(0, blocks_per_core, accesses).astype(np.uint64)
+    address = (core.astype(np.uint64) << np.uint64(32)) | \
+        (offsets << np.uint64(BLOCK_BITS))
+    pc = (rng.integers(0, 64, accesses).astype(np.uint64) << np.uint64(2)) \
+        + np.uint64(0x400000)
+    is_store = rng.random(accesses) < store_fraction
+    instructions = rng.integers(1, 4, accesses).astype(np.int32)
+    return TraceBuffer(core, pc, address, is_store, instructions)
+
+
+def _fingerprints(trace, config, **kwargs):
+    scalar = run_trace(trace, config, interp="scalar", **kwargs)
+    vector = run_trace(trace, config, interp="vector", **kwargs)
+    return result_fingerprint(scalar), result_fingerprint(vector)
+
+
+# --------------------------------------------------------------------- #
+# Interpreter selection
+# --------------------------------------------------------------------- #
+class TestInterpSelection:
+    def test_default_is_vector(self, monkeypatch):
+        monkeypatch.delenv(INTERP_ENV_VAR, raising=False)
+        assert DEFAULT_INTERP == "vector"
+        assert interp_name() == "vector"
+
+    def test_env_var_selects_the_interpreter(self, monkeypatch):
+        monkeypatch.setenv(INTERP_ENV_VAR, "scalar")
+        assert interp_name() == "scalar"
+
+    def test_explicit_override_beats_the_environment(self, monkeypatch):
+        monkeypatch.setenv(INTERP_ENV_VAR, "scalar")
+        assert interp_name("vector") == "vector"
+
+    def test_unknown_interpreter_is_rejected(self, monkeypatch):
+        with pytest.raises(ValueError, match="interp"):
+            interp_name("jit")
+        monkeypatch.setenv(INTERP_ENV_VAR, "turbo")
+        with pytest.raises(ValueError, match="turbo"):
+            interp_name()
+
+    def test_vector_requires_the_flat_cache_engine(self):
+        assert resolve_interp("vector", "flat") == "vector"
+        assert resolve_interp("vector", "dict") == "scalar"
+        assert resolve_interp("scalar", "dict") == "scalar"
+        system = ServerSystem(base_open(), cache_engine="dict",
+                              interp="vector")
+        assert system.interp == "scalar"
+        assert ServerSystem(base_open(), interp="vector").interp == "vector"
+
+    def test_interps_tuple_lists_both(self):
+        assert set(INTERPS) == {"vector", "scalar"}
+
+
+# --------------------------------------------------------------------- #
+# Degenerate inputs and bounded memoization
+# --------------------------------------------------------------------- #
+class TestChunkEdgeCases:
+    @pytest.mark.parametrize("interp", INTERPS)
+    def test_zero_length_chunk_is_a_no_op(self, interp):
+        system = ServerSystem(base_open(), interp=interp)
+        before = result_fingerprint(system._collect_results())
+        system._run_chunk(TraceBuffer.empty())
+        assert result_fingerprint(system._collect_results()) == before
+
+    @pytest.mark.parametrize("interp", INTERPS)
+    def test_empty_chunks_in_a_stream_are_invisible(self, interp):
+        trace = _random_trace(2_000, blocks_per_core=64)
+        config = base_open()
+        whole = run_trace(trace, config, interp=interp)
+        chunks = []
+        for chunk in trace.iter_chunks(500):
+            chunks.extend([TraceBuffer.empty(), chunk, TraceBuffer.empty()])
+        padded = run_trace(chunks, config, interp=interp)
+        assert result_fingerprint(padded) == result_fingerprint(whole)
+
+    def test_cycle_increment_cache_is_bounded(self):
+        accesses = 3 * _CYCLE_CACHE_LIMIT
+        rng = np.random.default_rng(5)
+        core = np.zeros(accesses, dtype=np.int32)
+        address = (rng.integers(0, 64, accesses).astype(np.uint64)
+                   << np.uint64(BLOCK_BITS))
+        pc = np.full(accesses, 0x400000, dtype=np.uint64)
+        is_store = np.zeros(accesses, dtype=bool)
+        # Every row carries a distinct instruction count, so an unbounded
+        # memo would grow to ``accesses`` entries.
+        instructions = np.arange(1, accesses + 1, dtype=np.int32)
+        trace = TraceBuffer(core, pc, address, is_store, instructions)
+        system = ServerSystem(base_open(), interp="scalar")
+        system.run(trace)
+        assert len(system._cycle_increment_cache) <= _CYCLE_CACHE_LIMIT
+
+
+# --------------------------------------------------------------------- #
+# Bit-identity property tests (vector == scalar)
+# --------------------------------------------------------------------- #
+class TestVectorScalarBitIdentity:
+    def test_store_heavy_trace(self):
+        trace = _random_trace(6_000, blocks_per_core=48, store_fraction=0.9,
+                              seed=23)
+        scalar, vector = _fingerprints(trace, base_open())
+        assert scalar == vector
+
+    def test_eviction_heavy_trace(self):
+        # A 1 KiB L1 (8 sets x 2 ways) under a 64-block/core footprint:
+        # nearly every access escapes and most fills evict, exercising the
+        # stale-classification re-verify/split path constantly.
+        tiny_l1 = SystemParams().scaled(
+            l1d=CacheParams(size_bytes=1024, associativity=2,
+                            hit_latency_cycles=2))
+        config = base_open().with_overrides(system=tiny_l1)
+        trace = _random_trace(6_000, blocks_per_core=64, seed=31)
+        scalar, vector = _fingerprints(trace, config)
+        assert scalar == vector
+
+    def test_agent_observable_traffic(self):
+        # The bump config attaches LLC agents; escapes must replay through
+        # the same hook sequence the scalar loop drives.
+        config = named_configs(["bump"])["bump"]
+        trace = _random_trace(6_000, blocks_per_core=512, seed=47)
+        scalar, vector = _fingerprints(trace, config)
+        assert scalar == vector
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_randomized_escape_placement(self, seed):
+        # Mid-size footprint: sub-batches mix dense and sparse escape
+        # patterns, randomizing where segments split.
+        trace = _random_trace(5_000, blocks_per_core=200, seed=seed,
+                              store_fraction=0.5)
+        scalar, vector = _fingerprints(trace, base_open())
+        assert scalar == vector
+
+    def test_chunk_size_invariance(self):
+        trace = _random_trace(4_000, blocks_per_core=96, seed=13)
+        config = base_open()
+        reference = result_fingerprint(
+            run_trace(trace, config, interp="scalar"))
+        for chunk_size in (64, 999, 2_048, 4_000):
+            chunked = run_trace(trace.iter_chunks(chunk_size), config,
+                                interp="vector", num_accesses=len(trace))
+            assert result_fingerprint(chunked) == reference, (
+                f"vector interpreter diverged at chunk_size={chunk_size}")
+
+
+# --------------------------------------------------------------------- #
+# Pooled storage adoption
+# --------------------------------------------------------------------- #
+class TestShareStorage:
+    PARAMS = CacheParams(size_bytes=1024, associativity=2,
+                         hit_latency_cycles=2)
+
+    def _pool(self, cache):
+        shape = (cache.num_sets, cache.ways)
+        return (np.empty(shape, dtype=np.int64),
+                np.empty(shape, dtype=np.uint8),
+                np.empty(shape, dtype=np.int64),
+                np.empty(shape, dtype=np.int32),
+                np.empty(shape, dtype=np.int64),
+                np.empty(shape[:1], dtype=np.int64))
+
+    def test_adoption_preserves_state(self):
+        cache = FlatSetAssociativeCache(self.PARAMS, name="l1")
+        block = 7 << BLOCK_BITS
+        cache.fill_l1(block, True, pc=0x400000, core=0)
+        views = self._pool(cache)
+        cache.share_storage(*views)
+        assert cache.tags is views[0]
+        assert cache.contains(block)
+        line = cache.lookup(block)
+        assert line is not None and line.dirty
+        # Writes through the cache land in the adopted pool.
+        other = 9 << BLOCK_BITS
+        cache.fill_l1(other, False, pc=0x400004, core=0)
+        assert other in views[0]
+
+    def test_geometry_and_dtype_are_validated(self):
+        cache = FlatSetAssociativeCache(self.PARAMS, name="l1")
+        views = list(self._pool(cache))
+        views[0] = np.empty((cache.num_sets, cache.ways + 1), dtype=np.int64)
+        with pytest.raises(ValueError, match="mismatch"):
+            cache.share_storage(*views)
+        views = list(self._pool(cache))
+        views[4] = np.empty((cache.num_sets, cache.ways), dtype=np.float64)
+        with pytest.raises(ValueError, match="mismatch"):
+            cache.share_storage(*views)
+        views = list(self._pool(cache))
+        views[0] = np.empty((cache.num_sets, cache.ways * 2),
+                            dtype=np.int64)[:, ::2]
+        with pytest.raises(ValueError, match="contiguous"):
+            cache.share_storage(*views)
+
+
+# --------------------------------------------------------------------- #
+# Batched cache primitives vs scalar replay
+# --------------------------------------------------------------------- #
+class TestBatchedPrimitives:
+    PARAMS = CacheParams(size_bytes=2048, associativity=2,
+                         hit_latency_cycles=2)
+
+    def _filled_cache(self, blocks):
+        cache = FlatSetAssociativeCache(self.PARAMS, name="l1")
+        for block in blocks:
+            cache.fill_l1(int(block), False, pc=0x400000, core=0)
+        return cache
+
+    def _resident_blocks(self, count, seed=3):
+        rng = np.random.default_rng(seed)
+        return (rng.permutation(count).astype(np.int64) << BLOCK_BITS)
+
+    def test_batch_probe_matches_scalar_lookup(self):
+        resident = self._resident_blocks(16)
+        cache = self._filled_cache(resident)
+        probe = np.concatenate([resident, (np.arange(100, 108, dtype=np.int64)
+                                           << BLOCK_BITS)])
+        set_indices = (probe >> BLOCK_BITS) & (cache.num_sets - 1)
+        hit_mask, slots = cache.batch_probe(probe, set_indices)
+        for i, block in enumerate(probe.tolist()):
+            expected = cache._slot_of.get(block)
+            assert hit_mask[i] == (expected is not None)
+            if expected is not None:
+                assert slots[i] == expected
+
+    def test_batch_verify_detects_evicted_lines(self):
+        resident = self._resident_blocks(16)
+        cache = self._filled_cache(resident)
+        set_indices = (resident >> BLOCK_BITS) & (cache.num_sets - 1)
+        hit_mask, slots = cache.batch_probe(resident, set_indices)
+        assert hit_mask.all()
+        assert cache.batch_verify(resident, slots).all()
+        # Conflict-fill one set until its original lines are evicted.
+        victim = int(resident[0])
+        victim_set = (victim >> BLOCK_BITS) & (cache.num_sets - 1)
+        for way in range(cache.ways):
+            conflicting = ((cache.num_sets * (way + 5)) + victim_set) \
+                << BLOCK_BITS
+            cache.fill_l1(conflicting, False, pc=0x400000, core=0)
+        verdict = cache.batch_verify(resident, slots)
+        assert not verdict[0]
+        assert verdict[(set_indices != victim_set)].all()
+
+    def test_batch_apply_hits_matches_scalar_replay(self):
+        resident = self._resident_blocks(16)
+        bulk = self._filled_cache(resident)
+        scalar = self._filled_cache(resident)
+        rng = np.random.default_rng(9)
+        rows = rng.integers(0, len(resident), 200)
+        blocks = resident[rows]
+        stores = rng.random(len(rows)) < 0.4
+        set_indices = (blocks >> BLOCK_BITS) & (bulk.num_sets - 1)
+        _, slots = bulk.batch_probe(blocks, set_indices)
+        bulk.batch_apply_hits(set_indices, slots, stores)
+        for block, store in zip(blocks.tolist(), stores.tolist()):
+            scalar.demand_access(block, store)
+        np.testing.assert_array_equal(bulk.stamps, scalar.stamps)
+        np.testing.assert_array_equal(bulk.ticks, scalar.ticks)
+        np.testing.assert_array_equal(bulk.flags & FLAG_DIRTY,
+                                      scalar.flags & FLAG_DIRTY)
+
+    def test_batch_apply_hits_empty_batch_is_a_no_op(self):
+        resident = self._resident_blocks(8)
+        cache = self._filled_cache(resident)
+        ticks_before = cache.ticks.copy()
+        empty = np.empty(0, dtype=np.int64)
+        cache.batch_apply_hits(empty, empty, np.empty(0, dtype=bool))
+        np.testing.assert_array_equal(cache.ticks, ticks_before)
