@@ -1,0 +1,201 @@
+"""Amortized-warmup gate for the warm-state snapshot engine.
+
+Fork-per-query is the point of ``repro.sim.snapshot``: a query sweep that
+re-simulates the same warmup before every measured tail wastes almost all
+of its wall time when the warmup dominates the trace.  This benchmark
+measures the two costs that justify the subsystem:
+
+* **round trip** -- capture, save, load and restore wall time plus the
+  snapshot's on-disk size, for one warmed system;
+* **amortized queries** -- a 4-query sweep over a warmup-heavy trace
+  (95% warmup, 5% measured tail) run twice: cold (every query re-simulates
+  the warmup) and snapshot-backed (the first query captures, the rest
+  restore).  The snapshot sweep must be at least **3x** faster, and every
+  query's result must be bit-identical to its cold twin.
+
+Results are written as a JSON trajectory file (``BENCH_snapshots.json`` by
+default) so CI can archive one point per commit.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_snapshots.py [--smoke]
+
+The exit status is nonzero when the speedup gate fails or any restored
+query diverges from its cold twin -- both enforced in CI on the smoke
+variant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import __version__
+from repro.exec.campaign import result_fingerprint
+from repro.exec.store import ArtifactStore
+from repro.sim.config import bump_system
+from repro.sim.runner import build_trace, run_trace
+from repro.sim.snapshot import (
+    capture_warmup,
+    load_snapshot,
+    restore,
+    save_snapshot,
+)
+from repro.sim.system import ServerSystem
+from repro.telemetry.metrics import (
+    reset_snapshot_counters,
+    snapshot_cache_info,
+)
+
+WORKLOAD = "web_search"
+CORES = 16
+SEED = 42
+#: Fraction of each query's trace spent warming up; the paper-style sweep
+#: measures a short steady-state window after a long warm approach.
+WARMUP_FRACTION = 0.95
+QUERIES = 4
+#: The acceptance gate: the snapshot-backed sweep must beat re-warming
+#: per query by at least this factor (theoretical ceiling for 4 queries at
+#: 95% warmup is ~3.5x).
+SPEEDUP_GATE = 3.0
+
+
+def bench_round_trip(trace, config, warmup: int, tmp_dir: Path) -> dict:
+    """Time capture, save, load and restore of one warmed system."""
+    system = ServerSystem(config, workload_name=WORKLOAD)
+    start = time.perf_counter()
+    snapshot, _, _ = capture_warmup(system, trace, warmup)
+    capture_seconds = time.perf_counter() - start
+
+    path = tmp_dir / "bench.npz"
+    start = time.perf_counter()
+    save_snapshot(snapshot, path)
+    save_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    loaded = load_snapshot(path)
+    load_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    restore(loaded)
+    restore_seconds = time.perf_counter() - start
+
+    row = {
+        "warmup_accesses": warmup,
+        "capture_seconds": capture_seconds,
+        "save_seconds": save_seconds,
+        "load_seconds": load_seconds,
+        "restore_seconds": restore_seconds,
+        "snapshot_bytes": snapshot.nbytes,
+        "file_bytes": path.stat().st_size,
+    }
+    print(f"  round trip: capture {capture_seconds:.3f}s "
+          f"(includes the warmup simulation), save {save_seconds:.3f}s, "
+          f"load {load_seconds:.3f}s, restore {restore_seconds:.3f}s, "
+          f"{snapshot.nbytes / (1 << 20):.1f} MiB")
+    return row
+
+
+def bench_amortized(trace, config, tmp_dir: Path) -> dict:
+    """4 identical warmup-heavy queries: cold per query vs snapshot-backed."""
+    start = time.perf_counter()
+    cold_digests = []
+    for _ in range(QUERIES):
+        result = run_trace(trace, config, workload_name=WORKLOAD,
+                           warmup_fraction=WARMUP_FRACTION)
+        cold_digests.append(result_fingerprint(result))
+    cold_seconds = time.perf_counter() - start
+
+    reset_snapshot_counters()
+    store = ArtifactStore(tmp_dir / "store")
+    key = "0123456789abcdef" * 2
+    start = time.perf_counter()
+    warm_digests = []
+    for _ in range(QUERIES):
+        result = run_trace(trace, config, workload_name=WORKLOAD,
+                           warmup_fraction=WARMUP_FRACTION,
+                           warmup_snapshot=store, snapshot_key=key)
+        warm_digests.append(result_fingerprint(result))
+    warm_seconds = time.perf_counter() - start
+
+    counters = snapshot_cache_info()
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    identical = warm_digests == cold_digests
+    row = {
+        "queries": QUERIES,
+        "accesses_per_query": len(trace),
+        "warmup_fraction": WARMUP_FRACTION,
+        "cold_seconds": cold_seconds,
+        "snapshot_seconds": warm_seconds,
+        "speedup": speedup,
+        "captures": counters["captures"],
+        "restores": counters["restores"],
+        "results_identical": identical,
+    }
+    print(f"  amortized: cold {cold_seconds:.2f}s, snapshot "
+          f"{warm_seconds:.2f}s ({speedup:.2f}x, "
+          f"{counters['captures']} capture(s) + "
+          f"{counters['restores']} restore(s), identical={identical})")
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="short traces for CI (seconds, not minutes)")
+    parser.add_argument("--output", default="BENCH_snapshots.json",
+                        help="trajectory JSON path")
+    args = parser.parse_args(argv)
+
+    accesses = 60_000 if args.smoke else 400_000
+    config = bump_system()
+    trace = build_trace(WORKLOAD, accesses, num_cores=CORES, seed=SEED)
+
+    print(f"snapshot benchmark ({'smoke' if args.smoke else 'full'}), "
+          f"{accesses} accesses, {CORES} cores, "
+          f"{WARMUP_FRACTION:.0%} warmup")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_dir = Path(tmp)
+        round_trip = bench_round_trip(
+            trace, config, int(accesses * WARMUP_FRACTION), tmp_dir)
+        amortized = bench_amortized(trace, config, tmp_dir)
+
+    payload = {
+        "benchmark": "snapshots",
+        "version": __version__,
+        "mode": "smoke" if args.smoke else "full",
+        "workload": WORKLOAD,
+        "num_cores": CORES,
+        "seed": SEED,
+        "speedup_gate": SPEEDUP_GATE,
+        "round_trip": round_trip,
+        "amortized": amortized,
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+
+    failures = []
+    if not amortized["results_identical"]:
+        failures.append(
+            "amortized: a snapshot-backed query diverged from its cold twin "
+            "(restore is no longer bit-identical)")
+    if amortized["speedup"] < SPEEDUP_GATE:
+        failures.append(
+            f"amortized: {amortized['speedup']:.2f}x speedup is below the "
+            f"{SPEEDUP_GATE:.1f}x gate")
+    if amortized["captures"] != 1 or amortized["restores"] != QUERIES - 1:
+        failures.append(
+            f"amortized: expected 1 capture + {QUERIES - 1} restores, saw "
+            f"{amortized['captures']} + {amortized['restores']} "
+            "(the store is not being reused)")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

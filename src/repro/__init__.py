@@ -22,7 +22,10 @@ The package is organised as one subpackage per subsystem:
 * :mod:`repro.trace` -- trace persistence, characterisation, slicing and
   post-L1 stream capture.
 * :mod:`repro.sim` -- the trace-driven full-system model, system
-  configurations, timing and the experiment runner.
+  configurations, timing, the experiment runner and the warm-state
+  snapshot engine (:mod:`repro.sim.snapshot`: checkpoint/restore of the
+  full simulator state, bit-identical, for fork-per-query amortized
+  warmup).
 * :mod:`repro.analysis` -- one experiment function per paper figure/table,
   the ablation and Section VI scalability studies, paper-vs-measured
   validation, and plain-text reporting.
@@ -71,7 +74,7 @@ from repro.workloads import (
     iter_trace_chunks,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "BuMPConfig",

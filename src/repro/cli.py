@@ -18,9 +18,13 @@ Command                Purpose
 ``experiment``         regenerate one paper figure/table and print its rows
 ``scaling``            print the Section VI storage-scaling tables
 ``trace``              generate a workload trace and save it to disk
+``snapshot``           create/inspect/list warm-state snapshots
+                       (``repro snapshot create|info|list``); ``run``,
+                       ``compare`` and ``scenario run`` reuse them via
+                       ``--snapshot`` / ``--warmup-snapshot``
 ``report``             render telemetry artifacts: run timelines and span
                        tables from JSONL event logs, campaign metrics files,
-                       and the in-process trace-cache counters
+                       and the in-process trace/snapshot-cache counters
 =====================  =====================================================
 
 Every command prints plain text to stdout; exit status is zero on success,
@@ -41,12 +45,18 @@ from repro.analysis.scalability import storage_scaling_table, virtualization_sto
 from repro.exec.campaign import run_campaign, verify_parity
 from repro.exec.jobs import JobGrid
 from repro.exec.progress import ConsoleProgress, NullProgress
-from repro.exec.store import ArtifactStore, default_store
+from repro.exec.store import ArtifactStore, default_snapshot_store, default_store
 from repro.scenario.catalog import get_scenario, scenario_names
 from repro.scenario.runner import run_scenario
 from repro.sim.config import extended_configs, named_configs
 from repro.sim.interp import INTERPS
 from repro.sim.runner import build_trace, run_trace, trace_cache_info
+from repro.sim.snapshot import (
+    capture_warmup,
+    load_snapshot,
+    save_snapshot,
+    snapshot_fingerprint,
+)
 from repro.telemetry import MODES as TELEMETRY_MODES
 from repro.telemetry import (
     read_campaign_metrics,
@@ -151,16 +161,33 @@ def _finish_telemetry(recorder, args: argparse.Namespace) -> None:
         _print(f"wrote telemetry events to {path}")
 
 
+def _warmup_snapshot_key(args: argparse.Namespace, config) -> Optional[str]:
+    """Fingerprint of the warm state a ``run``/``compare`` invocation needs."""
+    if getattr(args, "warmup_snapshot", None) is None:
+        return None
+    return snapshot_fingerprint(
+        get_workload(args.workload), config,
+        int(args.accesses * args.warmup),
+        num_cores=args.cores, seed=args.seed,
+        dram_engine=getattr(args, "dram_engine", None))
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     config = _resolve_config(args.system)
     trace = build_trace(args.workload, args.accesses, num_cores=args.cores,
                         seed=args.seed)
     recorder = _setup_telemetry(args)
-    result = run_trace(trace, config, workload_name=args.workload,
-                       warmup_fraction=args.warmup,
-                       dram_engine=args.dram_engine,
-                       interp=args.interp,
-                       telemetry=recorder)
+    try:
+        result = run_trace(trace, config, workload_name=args.workload,
+                           warmup_fraction=args.warmup,
+                           dram_engine=args.dram_engine,
+                           interp=args.interp,
+                           telemetry=recorder,
+                           snapshot=args.snapshot or None,
+                           warmup_snapshot=args.warmup_snapshot,
+                           snapshot_key=_warmup_snapshot_key(args, config))
+    except (ValueError, OSError) as exc:
+        raise SystemExit(str(exc))
     _print(f"{display_name(args.workload)} under {config.name}")
     _print(format_table(_result_rows(result), headers=["metric", "value"]))
     _finish_telemetry(recorder, args)
@@ -178,10 +205,15 @@ def cmd_compare(args: argparse.Namespace) -> int:
                "energy_per_access_nj", "throughput_ipc"]
     rows = []
     for config in configs:
-        result = run_trace(trace, config, workload_name=args.workload,
-                           warmup_fraction=args.warmup,
-                           dram_engine=args.dram_engine,
-                           interp=args.interp)
+        try:
+            result = run_trace(trace, config, workload_name=args.workload,
+                               warmup_fraction=args.warmup,
+                               dram_engine=args.dram_engine,
+                               interp=args.interp,
+                               warmup_snapshot=args.warmup_snapshot,
+                               snapshot_key=_warmup_snapshot_key(args, config))
+        except (ValueError, OSError) as exc:
+            raise SystemExit(str(exc))
         summary = result.summary()
         rows.append([config.name] + [f"{summary[metric]:.4g}" for metric in metrics])
     _print(f"{display_name(args.workload)} ({args.accesses} accesses)")
@@ -243,8 +275,12 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                "accesses: parallel results are identical to serial")
 
     progress = NullProgress() if args.quiet else ConsoleProgress()
+    if args.warmup_snapshots and store is None:
+        raise SystemExit("--warmup-snapshots needs an artifact store: pass "
+                         "--store or set REPRO_ARTIFACT_DIR")
     outcome = run_campaign(jobs, store=store, workers=args.workers,
-                           progress=progress)
+                           progress=progress,
+                           warmup_snapshots=args.warmup_snapshots)
 
     metrics = ["row_buffer_hit_ratio", "read_coverage", "write_coverage",
                "energy_per_access_nj", "throughput_ipc"]
@@ -308,13 +344,18 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
     if not 0.0 <= args.warmup < 1.0:
         raise SystemExit("--warmup must be in [0, 1)")
     recorder = _setup_telemetry(args)
-    result = run_scenario(scenario, config, seed=args.seed,
-                          warmup_fraction=args.warmup,
-                          chunk_size=args.chunk_size,
-                          cache_engine=args.engine,
-                          dram_engine=args.dram_engine,
-                          interp=args.interp,
-                          telemetry=recorder)
+    try:
+        result = run_scenario(scenario, config, seed=args.seed,
+                              warmup_fraction=args.warmup,
+                              chunk_size=args.chunk_size,
+                              cache_engine=args.engine,
+                              dram_engine=args.dram_engine,
+                              interp=args.interp,
+                              telemetry=recorder,
+                              snapshot=args.snapshot or None,
+                              warmup_snapshot=args.warmup_snapshot)
+    except (ValueError, OSError) as exc:
+        raise SystemExit(str(exc))
     _print(f"{scenario.name} ({scenario.total_accesses} accesses) "
            f"under {config.name}")
     _print(format_table(_result_rows(result), headers=["metric", "value"]))
@@ -399,18 +440,107 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _snapshot_store_or_exit(root: str) -> ArtifactStore:
+    """Open the snapshot store named on the command line (or the default)."""
+    if root:
+        try:
+            return ArtifactStore(root)
+        except OSError as exc:
+            raise SystemExit(f"cannot open snapshot store at {root!r}: {exc}")
+    store = default_snapshot_store()
+    if store is None:
+        raise SystemExit("no snapshot store configured: pass --store or set "
+                         "REPRO_SNAPSHOT_DIR / REPRO_ARTIFACT_DIR")
+    return store
+
+
+def cmd_snapshot_create(args: argparse.Namespace) -> int:
+    from repro.sim.system import ServerSystem
+
+    config = _resolve_config(args.system)
+    if not 0.0 < args.warmup < 1.0:
+        raise SystemExit("--warmup must be in (0, 1)")
+    warmup = int(args.accesses * args.warmup)
+    if warmup < 1:
+        raise SystemExit("warmup interval is empty; raise --accesses or --warmup")
+    spec = get_workload(args.workload)
+    trace = build_trace(args.workload, args.accesses, num_cores=args.cores,
+                        seed=args.seed)
+    system = ServerSystem(config, workload_name=args.workload,
+                          cache_engine=args.engine,
+                          dram_engine=args.dram_engine)
+    try:
+        snapshot, _, _ = capture_warmup(system, trace, warmup)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if args.output:
+        save_snapshot(snapshot, args.output)
+        _print(f"wrote snapshot to {args.output}")
+    else:
+        store = _snapshot_store_or_exit(args.store)
+        digest = snapshot_fingerprint(spec, config, warmup,
+                                      num_cores=args.cores, seed=args.seed,
+                                      cache_engine=args.engine,
+                                      dram_engine=args.dram_engine)
+        store.put_snapshot(digest, snapshot)
+        _print(f"stored snapshot {digest} in {store.root}")
+    rows = [[key, str(value)] for key, value in snapshot.describe().items()]
+    _print(format_table(rows, headers=["field", "value"]))
+    return 0
+
+
+def cmd_snapshot_info(args: argparse.Namespace) -> int:
+    try:
+        snapshot = load_snapshot(args.path)
+    except (OSError, ValueError, KeyError) as exc:
+        raise SystemExit(f"cannot read snapshot {args.path!r}: {exc}")
+    rows = [[key, str(value)] for key, value in snapshot.describe().items()]
+    _print(format_table(rows, headers=["field", "value"]))
+    return 0
+
+
+def cmd_snapshot_list(args: argparse.Namespace) -> int:
+    store = _snapshot_store_or_exit(args.store)
+    paths = sorted((store.root / "snapshots").glob("*.npz"))
+    if not paths:
+        _print(f"no snapshots in {store.root}")
+        return 0
+    rows = []
+    for path in paths:
+        try:
+            snapshot = load_snapshot(path)
+        except (OSError, ValueError, KeyError):
+            rows.append([path.stem, "(unreadable)", "", "", "", ""])
+            continue
+        rows.append([path.stem, snapshot.workload_name,
+                     snapshot.cache_engine, snapshot.dram_engine,
+                     str(snapshot.processed), str(snapshot.nbytes)])
+    _print(format_table(rows, headers=["digest", "workload", "cache", "dram",
+                                       "warmed accesses", "bytes"]))
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     import json
+
+    from repro.telemetry.metrics import snapshot_cache_info
 
     emitted = False
     if args.caches:
         info = trace_cache_info()
+        snapshots = snapshot_cache_info()
         if args.json:
-            _print(json.dumps({"trace_cache": info}, indent=2, sort_keys=True))
+            _print(json.dumps({"trace_cache": info,
+                               "snapshot_cache": snapshots},
+                              indent=2, sort_keys=True))
         else:
             rows = [[key, f"{value:.4g}" if isinstance(value, float) else str(value)]
                     for key, value in info.items()]
             _print("trace cache (this process)")
+            _print(format_table(rows, headers=["metric", "value"]))
+            rows = [[key, f"{value:.4g}" if isinstance(value, float) else str(value)]
+                    for key, value in snapshots.items()]
+            _print("snapshot cache (this process)")
             _print(format_table(rows, headers=["metric", "value"]))
         emitted = True
     if args.path:
@@ -490,6 +620,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--events", default="",
                      help="write the telemetry JSONL event log here "
                           "(implies --telemetry full)")
+    run.add_argument("--snapshot", default="",
+                     help="restore the warm state from this snapshot file and "
+                          "simulate only the measured tail")
+    run.add_argument("--warmup-snapshot", nargs="?", const=True, default=None,
+                     metavar="DIR",
+                     help="reuse the warmup through a snapshot store (default "
+                          "directory: $REPRO_SNAPSHOT_DIR or "
+                          "$REPRO_ARTIFACT_DIR); first run captures, "
+                          "later runs restore")
     run.set_defaults(handler=cmd_run)
 
     compare = subparsers.add_parser("compare",
@@ -505,6 +644,11 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--interp", choices=list(INTERPS), default=None,
                          help="batch interpreter (default: REPRO_INTERP or "
                               "vector; results are bit-identical)")
+    compare.add_argument("--warmup-snapshot", nargs="?", const=True,
+                         default=None, metavar="DIR",
+                         help="reuse each system's warmup through a snapshot "
+                              "store (default directory: $REPRO_SNAPSHOT_DIR "
+                              "or $REPRO_ARTIFACT_DIR)")
     compare.set_defaults(handler=cmd_compare)
 
     campaign = subparsers.add_parser(
@@ -526,6 +670,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--store", default="",
                           help="artifact store directory (default: "
                                "$REPRO_ARTIFACT_DIR, or no persistence)")
+    campaign.add_argument("--warmup-snapshots", action="store_true",
+                          help="share warm-state snapshots across jobs that "
+                               "agree on workload, system, warmup, cores and "
+                               "seed (requires a store)")
     campaign.add_argument("--verify-parity", action="store_true",
                           help="first prove serial/parallel bit-identity on a "
                                "job sample")
@@ -580,6 +728,14 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_run.add_argument("--events", default="",
                               help="write the telemetry JSONL event log here "
                                    "(implies --telemetry full)")
+    scenario_run.add_argument("--snapshot", default="",
+                              help="restore the warm state from this snapshot "
+                                   "file and simulate only the measured tail")
+    scenario_run.add_argument("--warmup-snapshot", nargs="?", const=True,
+                              default=None, metavar="DIR",
+                              help="reuse the warmup through a snapshot store "
+                                   "(default directory: $REPRO_SNAPSHOT_DIR "
+                                   "or $REPRO_ARTIFACT_DIR)")
     scenario_run.set_defaults(handler=cmd_scenario_run)
 
     experiment = subparsers.add_parser("experiment",
@@ -602,6 +758,48 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--chunk-size", type=int, default=65_536,
                        help="generator chunk granularity (accesses)")
     trace.set_defaults(handler=cmd_trace)
+
+    snapshot = subparsers.add_parser(
+        "snapshot",
+        help="warm-state snapshots: create, inspect, list")
+    snapshot_actions = snapshot.add_subparsers(dest="action", required=True)
+
+    snapshot_create = snapshot_actions.add_parser(
+        "create", help="simulate a warmup and persist the warm state")
+    _add_trace_arguments(snapshot_create)
+    snapshot_create.add_argument("--system", default="bump",
+                                 help="system configuration name")
+    snapshot_create.add_argument("--warmup", type=float, default=0.5,
+                                 help="fraction of the trace to warm up over")
+    snapshot_create.add_argument("--engine", choices=["flat", "dict"],
+                                 default=None,
+                                 help="cache engine (default: "
+                                      "REPRO_CACHE_ENGINE or flat)")
+    snapshot_create.add_argument("--dram-engine", choices=["flat", "object"],
+                                 default=None,
+                                 help="DRAM engine (default: "
+                                      "REPRO_DRAM_ENGINE or flat)")
+    snapshot_create.add_argument("--output", "-o", default="",
+                                 help="write the snapshot to this .npz file "
+                                      "instead of the store")
+    snapshot_create.add_argument("--store", default="",
+                                 help="snapshot store directory (default: "
+                                      "$REPRO_SNAPSHOT_DIR or "
+                                      "$REPRO_ARTIFACT_DIR)")
+    snapshot_create.set_defaults(handler=cmd_snapshot_create)
+
+    snapshot_info = snapshot_actions.add_parser(
+        "info", help="describe one snapshot file")
+    snapshot_info.add_argument("path", help="snapshot .npz file")
+    snapshot_info.set_defaults(handler=cmd_snapshot_info)
+
+    snapshot_list = snapshot_actions.add_parser(
+        "list", help="list the snapshots in a store")
+    snapshot_list.add_argument("--store", default="",
+                               help="snapshot store directory (default: "
+                                    "$REPRO_SNAPSHOT_DIR or "
+                                    "$REPRO_ARTIFACT_DIR)")
+    snapshot_list.set_defaults(handler=cmd_snapshot_list)
 
     report = subparsers.add_parser(
         "report",

@@ -31,6 +31,7 @@ from repro.exec.jobs import JobSpec, fingerprint
 from repro.telemetry.metrics import (
     JobMetrics,
     campaign_metrics,
+    snapshot_cache_info,
     write_campaign_metrics,
 )
 from repro.exec.progress import (
@@ -154,13 +155,20 @@ class Campaign:
     def __init__(self, jobs: Sequence[JobSpec],
                  store: Optional[ArtifactStore] = None,
                  workers: int = 1,
-                 progress: Optional[CampaignProgress] = None) -> None:
+                 progress: Optional[CampaignProgress] = None,
+                 warmup_snapshots: bool = False) -> None:
         if workers < 1:
             raise ValueError("workers must be positive")
+        if warmup_snapshots and store is None:
+            raise ValueError("warmup_snapshots requires an artifact store")
         self.jobs = list(jobs)
         self.store = store
         self.workers = workers
         self.progress = progress if progress is not None else NullProgress()
+        #: Share warm-state snapshots across measure-phase jobs: all jobs
+        #: agreeing on :meth:`JobSpec.warmup_fingerprint` warm up once; the
+        #: rest fork from the stored snapshot (bit-identical results).
+        self.warmup_snapshots = warmup_snapshots
 
     # ------------------------------------------------------------------ #
     def run(self) -> CampaignResult:
@@ -202,6 +210,8 @@ class Campaign:
         document = campaign_metrics(
             job_metrics, elapsed_seconds=elapsed, workers=self.workers,
             store_stats=self.store.stats() if self.store is not None else None,
+            snapshot_cache=(snapshot_cache_info()
+                            if self.warmup_snapshots else None),
         )
         result = CampaignResult(
             outcomes=[o for o in outcomes if o is not None],
@@ -235,7 +245,8 @@ class Campaign:
                     completed: int) -> int:
         for index, job in pending:
             started = time.perf_counter()
-            result, simulated = pool.execute_job_sourced(job, self.store)
+            result, simulated = pool.execute_job_sourced(
+                job, self.store, warmup_snapshots=self.warmup_snapshots)
             cost = pool.job_cost_metrics(time.perf_counter() - started)
             source = SOURCE_SIMULATED if simulated else SOURCE_STORE
             outcomes[index] = JobOutcome(job, result, source)
@@ -254,6 +265,7 @@ class Campaign:
             str(store.root) if store is not None else None,
             store.max_entries if store is not None else None,
             store.max_bytes if store is not None else None,
+            self.warmup_snapshots,
         )
         errors: List[str] = []
         with ProcessPoolExecutor(max_workers=self.workers,
@@ -288,9 +300,11 @@ class Campaign:
 def run_campaign(jobs: Sequence[JobSpec],
                  store: Optional[ArtifactStore] = None,
                  workers: int = 1,
-                 progress: Optional[CampaignProgress] = None) -> CampaignResult:
+                 progress: Optional[CampaignProgress] = None,
+                 warmup_snapshots: bool = False) -> CampaignResult:
     """Build and run a :class:`Campaign` in one call."""
-    return Campaign(jobs, store=store, workers=workers, progress=progress).run()
+    return Campaign(jobs, store=store, workers=workers, progress=progress,
+                    warmup_snapshots=warmup_snapshots).run()
 
 
 def run_job(job: JobSpec, store: Optional[ArtifactStore] = None) -> SimulationResult:

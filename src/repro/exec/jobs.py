@@ -42,6 +42,7 @@ from repro.sim.runner import (
     DEFAULT_TRACE_LENGTH,
     DEFAULT_WARMUP_FRACTION,
 )
+from repro.sim.snapshot import snapshot_fingerprint
 from repro.workloads.catalog import get_workload
 from repro.workloads.spec import WorkloadSpec
 
@@ -151,6 +152,22 @@ class JobSpec:
                 "warmup_fraction": self.warmup_fraction,
             })
         return self._result_fingerprint
+
+    def warmup_fingerprint(self) -> str:
+        """Content address of this job's warm-state snapshot.
+
+        Jobs that agree on workload, configuration (content, not name),
+        warmup length, core count and seed share one warm snapshot: the
+        measure phase differs only in what runs *after* warmup.  Engine
+        knobs enter this fingerprint (unlike :meth:`result_fingerprint`)
+        because a snapshot stores engine-specific array layouts; the
+        defaults resolve deterministically inside
+        :func:`repro.sim.snapshot.snapshot_fingerprint`.
+        """
+        return snapshot_fingerprint(
+            self.workload, self.config,
+            int(self.num_accesses * self.warmup_fraction),
+            num_cores=self.num_cores, seed=self.seed)
 
     @property
     def label(self) -> str:

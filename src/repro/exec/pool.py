@@ -53,6 +53,11 @@ TRACE_MEMO_MAX_ENTRIES = 8
 
 #: Per-worker state installed by :func:`_init_worker` (fork- and spawn-safe).
 _WORKER_STORE: Optional[ArtifactStore] = None
+#: Whether workers reuse warm-state snapshots from the shared store
+#: (campaign ``warmup_snapshots=True``): the first worker to simulate a
+#: given warmup fingerprint captures it, siblings restore instead of
+#: re-simulating the warmup prefix.
+_WORKER_WARMUP_SNAPSHOTS: bool = False
 #: Deliberately separate from ``repro.sim.runner``'s trace cache: this memo
 #: additionally sits behind the shared artifact store, so a campaign-wide
 #: trace is built once per store, then mapped (not regenerated) per worker.
@@ -66,14 +71,16 @@ def clear_trace_memo() -> None:
 
 def _init_worker(store_root: Optional[str],
                  max_entries: Optional[int],
-                 max_bytes: Optional[int]) -> None:
+                 max_bytes: Optional[int],
+                 warmup_snapshots: bool = False) -> None:
     """Executor initializer: open the shared store inside the worker."""
-    global _WORKER_STORE
+    global _WORKER_STORE, _WORKER_WARMUP_SNAPSHOTS
     _TRACE_MEMO.clear()
     _WORKER_STORE = (
         ArtifactStore(store_root, max_entries=max_entries, max_bytes=max_bytes)
         if store_root else None
     )
+    _WORKER_WARMUP_SNAPSHOTS = bool(warmup_snapshots)
 
 
 def _memoize_trace(digest: str, trace: TraceBuffer) -> None:
@@ -115,7 +122,8 @@ def job_trace(job: JobSpec, store: Optional[ArtifactStore] = None) -> TraceBuffe
     return trace
 
 
-def execute_job_sourced(job: JobSpec, store: Optional[ArtifactStore] = None
+def execute_job_sourced(job: JobSpec, store: Optional[ArtifactStore] = None,
+                        warmup_snapshots: bool = False
                         ) -> Tuple[SimulationResult, bool]:
     """Run one job end to end; the flag reports whether a simulation ran.
 
@@ -124,14 +132,27 @@ def execute_job_sourced(job: JobSpec, store: Optional[ArtifactStore] = None
     store is consulted even here (not only in the campaign's pre-check) so a
     concurrent campaign's artifacts are picked up, and such hits are reported
     as cached, not simulated.
+
+    With ``warmup_snapshots`` (and a store), the run goes through the
+    warm-state snapshot path: the warmup prefix is restored from the store
+    when a sibling job already captured it, or simulated once and captured
+    for the siblings.  Restored runs are bit-identical to cold ones, so the
+    result artifact is the same either way; such runs still count as
+    simulated (their measure phase ran).
     """
     if store is not None:
         cached = store.get_result(job.result_fingerprint())
         if cached is not None:
             return cached, False
     trace = job_trace(job, store)
-    result = run_trace(trace, job.config, workload_name=job.workload.name,
-                       warmup_fraction=job.warmup_fraction)
+    if warmup_snapshots and store is not None and job.warmup_fraction > 0:
+        result = run_trace(trace, job.config, workload_name=job.workload.name,
+                           warmup_fraction=job.warmup_fraction,
+                           warmup_snapshot=store,
+                           snapshot_key=job.warmup_fingerprint())
+    else:
+        result = run_trace(trace, job.config, workload_name=job.workload.name,
+                           warmup_fraction=job.warmup_fraction)
     if store is not None:
         store.put_result(job.result_fingerprint(), result)
     return result, True
@@ -167,7 +188,8 @@ def run_shard(indexed_jobs: Sequence[Tuple[int, JobSpec]]
     results = []
     for index, job in indexed_jobs:
         started = time.perf_counter()
-        result, simulated = execute_job_sourced(job, _WORKER_STORE)
+        result, simulated = execute_job_sourced(
+            job, _WORKER_STORE, warmup_snapshots=_WORKER_WARMUP_SNAPSHOTS)
         metrics = job_cost_metrics(time.perf_counter() - started)
         results.append((index, result, simulated, metrics))
     return results

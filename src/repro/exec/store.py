@@ -37,9 +37,11 @@ from repro.trace.buffer import TraceBuffer
 from repro.trace.io import load_trace_buffer, save_trace
 
 __all__ = [
+    "SNAPSHOT_STORE_ENV_VAR",
     "STORE_ENV_VAR",
     "STORE_FORMAT_VERSION",
     "ArtifactStore",
+    "default_snapshot_store",
     "default_store",
 ]
 
@@ -60,10 +62,35 @@ STORE_FORMAT_VERSION = 2
 #: Environment variable consulted by :func:`default_store`.
 STORE_ENV_VAR = "REPRO_ARTIFACT_DIR"
 
-_KINDS = ("traces", "results")
+#: Environment variable consulted by :func:`default_snapshot_store`; when
+#: unset, warm-state snapshots share the ``$REPRO_ARTIFACT_DIR`` store.
+SNAPSHOT_STORE_ENV_VAR = "REPRO_SNAPSHOT_DIR"
+
+_KINDS = ("traces", "results", "snapshots")
 #: On-disk suffix per artifact kind: columnar traces are ``.npy`` record
-#: files (mmap-able, schema-checked by dtype); everything else is pickled.
-_SUFFIXES = {"traces": ".npy", "results": ".pkl"}
+#: files (mmap-able, schema-checked by dtype); warm-state snapshots are
+#: ``.npz`` containers (the :mod:`repro.sim.snapshot` codec, which carries
+#: its own format version inside the container); everything else is pickled.
+_SUFFIXES = {"traces": ".npy", "results": ".pkl", "snapshots": ".npz"}
+
+
+def _fsync_path(path) -> None:
+    """Flush a file (or directory) to stable storage; best-effort.
+
+    Filesystems that reject directory fsync (or files that vanished under a
+    racing pruner) degrade to the pre-fsync behaviour rather than failing
+    the publish -- durability hygiene must never break a working store.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fsync-less filesystem
+        pass
+    finally:
+        os.close(fd)
 
 
 class ArtifactStore:
@@ -137,11 +164,14 @@ class ArtifactStore:
                              lambda staging: staging.write_bytes(blob))
 
     def _publish(self, path: Path, writer) -> Path:
-        """Atomically publish an artifact: stage, write, ``os.replace``.
+        """Atomically publish an artifact: stage, write, fsync, ``os.replace``.
 
         ``writer`` receives the staging path (same directory and suffix as
         the final artifact, so codecs that dispatch on extension work) and
-        must leave the complete payload there.
+        must leave the complete payload there.  The staging file is fsynced
+        before the rename and the containing directory after it, closing the
+        crash window in which a published name could point at unflushed data
+        (applies uniformly to every kind -- traces, results and snapshots).
         """
         handle = tempfile.NamedTemporaryFile(
             mode="wb", dir=str(path.parent), prefix=f".{path.stem}.",
@@ -151,12 +181,14 @@ class ArtifactStore:
         handle.close()
         try:
             writer(staging)
+            _fsync_path(staging)
             try:
                 replaced_size = path.stat().st_size
             except OSError:
                 replaced_size = None
             written_size = os.path.getsize(staging)
             os.replace(staging, path)
+            _fsync_path(path.parent)
         except BaseException:
             self._remove(staging)
             raise
@@ -251,6 +283,48 @@ class ArtifactStore:
         """Persist one simulation result."""
         return self._put("results", digest, result)
 
+    def get_snapshot(self, digest: str):
+        """Return the stored warm-state snapshot for ``digest`` or ``None``.
+
+        Corrupt containers and unsupported snapshot format versions are
+        treated like any other torn artifact: counted, removed, reported as
+        a miss so the caller re-captures.  Hits and misses are additionally
+        recorded in the process-wide snapshot telemetry counters.
+        """
+        # Imported lazily: repro.sim must stay importable without the exec
+        # layer, so the dependency runs strictly downward and only on use.
+        from repro.sim.snapshot import load_snapshot
+        from repro.telemetry.metrics import (
+            record_snapshot_hit,
+            record_snapshot_miss,
+        )
+
+        path = self._path("snapshots", digest)
+        try:
+            size = path.stat().st_size
+            snapshot = load_snapshot(path)
+        except FileNotFoundError:
+            self.counters["misses"] += 1
+            record_snapshot_miss()
+            return None
+        except (ValueError, OSError, EOFError, KeyError):
+            self.counters["corrupt"] += 1
+            self.counters["misses"] += 1
+            record_snapshot_miss()
+            self._remove(path)
+            return None
+        self.counters["hits"] += 1
+        record_snapshot_hit()
+        self._touch(path, size)
+        return snapshot
+
+    def put_snapshot(self, digest: str, snapshot) -> Path:
+        """Persist one :class:`repro.sim.snapshot.SystemSnapshot`."""
+        from repro.sim.snapshot import save_snapshot
+
+        return self._publish(self._path("snapshots", digest),
+                             lambda staging: save_snapshot(snapshot, staging))
+
     # ------------------------------------------------------------------ #
     # Introspection and eviction
     # ------------------------------------------------------------------ #
@@ -265,9 +339,9 @@ class ArtifactStore:
         """
         entries = []
         for kind in _KINDS:
-            # Both suffixes are scanned in every kind so stale artifacts from
+            # Every suffix is scanned in every kind so stale artifacts from
             # an older layout (e.g. pickled traces) still age out via LRU.
-            for pattern in ("*.pkl", "*.npy"):
+            for pattern in ("*.pkl", "*.npy", "*.npz"):
                 for path in (self.root / kind).glob(pattern):
                     if path.name.startswith("."):
                         # A dot-prefixed name is a concurrent writer's staging
@@ -321,11 +395,21 @@ class ArtifactStore:
             self._approx_entries = 0
             self._approx_bytes = 0
 
-    def stats(self) -> Dict[str, int]:
-        """Hit/miss/store/eviction counters plus current occupancy."""
-        snapshot = dict(self.counters)
-        snapshot["entries"] = self.entry_count()
-        snapshot["bytes"] = self.total_bytes()
+    def stats(self) -> Dict[str, object]:
+        """Hit/miss/store/eviction counters plus occupancy, total and per kind."""
+        snapshot: Dict[str, object] = dict(self.counters)
+        entries = self._entries()
+        snapshot["entries"] = len(entries)
+        snapshot["bytes"] = sum(size for _, size, _ in entries)
+        kinds: Dict[str, Dict[str, int]] = {
+            kind: {"entries": 0, "bytes": 0} for kind in _KINDS
+        }
+        for _, size, path in entries:
+            bucket = kinds.get(path.parent.name)
+            if bucket is not None:
+                bucket["entries"] += 1
+                bucket["bytes"] += size
+        snapshot["kinds"] = kinds
         return snapshot
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -353,6 +437,27 @@ def default_store() -> Optional[ArtifactStore]:
     if store is None or not store.root.is_dir():
         # Rebuild the handle when the directory vanished underneath us (its
         # constructor recreates the layout); one stat per call otherwise.
+        store = ArtifactStore(root)
+        _DEFAULT_STORES[root] = store
+    return store
+
+
+def default_snapshot_store() -> Optional[ArtifactStore]:
+    """Store for warm-state snapshots: ``$REPRO_SNAPSHOT_DIR``, else the
+    :func:`default_store`.
+
+    Snapshots invalidate on every package release (their fingerprints carry
+    the version) and can be large, so fleets often want them on scratch
+    space separate from the long-lived trace/result store; pointing
+    ``REPRO_SNAPSHOT_DIR`` elsewhere does that without touching
+    ``REPRO_ARTIFACT_DIR``.  Handles are memoized per root like
+    :func:`default_store`.
+    """
+    root = os.environ.get(SNAPSHOT_STORE_ENV_VAR, "").strip()
+    if not root:
+        return default_store()
+    store = _DEFAULT_STORES.get(root)
+    if store is None or not store.root.is_dir():
         store = ArtifactStore(root)
         _DEFAULT_STORES[root] = store
     return store

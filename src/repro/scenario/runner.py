@@ -37,7 +37,9 @@ def run_scenario(scenario: Union[str, Scenario], config: SystemConfig,
                  interp: Optional[str] = None,
                  scale: float = 1.0,
                  extra_agents: Optional[Iterable] = None,
-                 telemetry=None) -> SimulationResult:
+                 telemetry=None,
+                 snapshot=None,
+                 warmup_snapshot=None) -> SimulationResult:
     """Simulate one scenario under one system configuration, streaming.
 
     ``scenario`` is a catalog name (scaled by ``scale``) or a
@@ -51,6 +53,12 @@ def run_scenario(scenario: Union[str, Scenario], config: SystemConfig,
     records spans, the scenario's phase boundaries are emitted as ``phase``
     marks (phase name plus its cumulative end position in the trace), so an
     event log can attribute timeline intervals to scenario phases.
+
+    ``snapshot`` / ``warmup_snapshot`` behave as in
+    :func:`repro.sim.runner.run_trace`.  The snapshot fingerprint covers the
+    resolved scenario (post-``scale``), the configuration, the warmup
+    length, the seed and the cache/DRAM engines; ``chunk_size`` is excluded
+    because results are chunk-size invariant.
     """
     from repro.telemetry.recorder import resolve_telemetry
 
@@ -61,6 +69,14 @@ def run_scenario(scenario: Union[str, Scenario], config: SystemConfig,
         for phase in resolved.phases:
             boundary += phase.accesses
             recorder.note_phase(phase.name, boundary)
+    snapshot_key = None
+    if warmup_snapshot is not None and warmup_fraction > 0:
+        from repro.sim.snapshot import snapshot_fingerprint
+
+        snapshot_key = snapshot_fingerprint(
+            resolved, config, int(resolved.total_accesses * warmup_fraction),
+            num_cores=None, seed=seed,
+            cache_engine=cache_engine, dram_engine=dram_engine)
     chunks = iter_scenario_chunks(resolved, seed=seed, chunk_size=chunk_size)
     return run_trace(chunks, config, workload_name=resolved.name,
                      warmup_fraction=warmup_fraction,
@@ -69,7 +85,10 @@ def run_scenario(scenario: Union[str, Scenario], config: SystemConfig,
                      cache_engine=cache_engine,
                      dram_engine=dram_engine,
                      interp=interp,
-                     telemetry=recorder)
+                     telemetry=recorder,
+                     snapshot=snapshot,
+                     warmup_snapshot=warmup_snapshot,
+                     snapshot_key=snapshot_key)
 
 
 def run_scenario_configs(scenario: Union[str, Scenario],

@@ -26,7 +26,20 @@ from repro.common.fingerprint import workload_fingerprint
 from repro.common.request import Access
 from repro.sim.config import SystemConfig, named_configs
 from repro.sim.results import SimulationResult
+from repro.sim.snapshot import (
+    SystemSnapshot,
+    capture_warmup,
+    config_key as _snapshot_config_key,
+    load_snapshot,
+    restore,
+    skip_accesses,
+    snapshot_fingerprint,
+)
 from repro.sim.system import ServerSystem
+from repro.telemetry.metrics import (
+    record_snapshot_capture,
+    record_snapshot_restore,
+)
 from repro.trace.buffer import DEFAULT_CHUNK_SIZE, TraceBuffer, as_chunk_iterator
 from repro.workloads.catalog import get_workload
 from repro.workloads.generator import generate_trace_buffer, iter_trace_chunks
@@ -139,7 +152,10 @@ def run_trace(trace: TraceLike, config: SystemConfig,
               cache_engine: Optional[str] = None,
               dram_engine: Optional[str] = None,
               interp: Optional[str] = None,
-              telemetry=None) -> SimulationResult:
+              telemetry=None,
+              snapshot=None,
+              warmup_snapshot=None,
+              snapshot_key: Optional[str] = None) -> SimulationResult:
     """Run an explicit trace through one system configuration.
 
     ``trace`` may be a :class:`TraceBuffer`, a sequence of ``Access``
@@ -170,12 +186,33 @@ def run_trace(trace: TraceLike, config: SystemConfig,
     to keep, or ``None`` to consult ``REPRO_TELEMETRY``).  Telemetry never
     changes the result -- pass a recorder instance to read the timeline and
     span events afterwards.
+
+    ``snapshot`` replays from an explicit warm state instead of simulating
+    the trace prefix: a :class:`repro.sim.snapshot.SystemSnapshot` or a path
+    to a saved one.  The snapshot's ``processed`` accesses are skipped from
+    ``trace`` and the remainder is measured; the result is bit-identical to
+    the uninterrupted warmup run the snapshot was captured from.
+
+    ``warmup_snapshot`` amortizes warmup through a snapshot store: pass an
+    :class:`repro.exec.store.ArtifactStore` (or a directory path, or
+    ``True`` for the ``REPRO_SNAPSHOT_DIR``/``REPRO_ARTIFACT_DIR`` default)
+    together with ``snapshot_key`` (see
+    :func:`repro.sim.snapshot.snapshot_fingerprint`; the workload-level
+    entry points compute it).  A store hit restores instead of warming up; a
+    miss warms up once, captures at the measurement boundary, publishes the
+    snapshot and continues -- either way the result is bit-identical to a
+    cold run.  Neither snapshot path may be combined with ``extra_agents``
+    (attached agents are invisible to the fingerprint).
     """
-    system = ServerSystem(config, workload_name=workload_name,
-                          cache_engine=cache_engine, dram_engine=dram_engine,
-                          interp=interp, telemetry=telemetry)
-    if extra_agents is not None:
-        system.agents.extend(extra_agents)
+    if snapshot is not None and warmup_snapshot is not None:
+        raise ValueError("pass either snapshot or warmup_snapshot, not both")
+    if (snapshot is not None or warmup_snapshot is not None) and extra_agents:
+        raise ValueError(
+            "snapshots cannot be combined with extra_agents: the extra "
+            "agents are not part of the snapshot fingerprint")
+    if snapshot is not None:
+        return _run_from_snapshot(_coerce_snapshot(snapshot), trace, config,
+                                  interp=interp, telemetry=telemetry)
     warmup = 0
     if warmup_fraction > 0:
         total = num_accesses
@@ -187,7 +224,120 @@ def run_trace(trace: TraceLike, config: SystemConfig,
             trace = TraceBuffer.concat(list(as_chunk_iterator(trace)))
             total = len(trace)
         warmup = int(total * warmup_fraction)
+        # When the trace's true length is known up front, reject an
+        # impossible warmup interval *before* simulating anything -- the
+        # streaming loop would otherwise consume the whole stream first and
+        # raise the same error at the end (which it still does for pure
+        # iterators whose declared ``num_accesses`` turns out to be an
+        # overestimate).
+        known = _trace_length(trace)
+        if known is not None and known < warmup:
+            raise ValueError(
+                "trace shorter than the requested warmup interval")
+    if warmup_snapshot is not None and warmup:
+        return _run_with_warmup_store(
+            trace, config, warmup_snapshot, snapshot_key,
+            workload_name=workload_name, warmup=warmup,
+            cache_engine=cache_engine, dram_engine=dram_engine,
+            interp=interp, telemetry=telemetry)
+    system = ServerSystem(config, workload_name=workload_name,
+                          cache_engine=cache_engine, dram_engine=dram_engine,
+                          interp=interp, telemetry=telemetry)
+    if extra_agents is not None:
+        system.agents.extend(extra_agents)
     return system.run(trace, warmup_accesses=warmup)
+
+
+def _as_stream(trace: TraceLike):
+    """Normalize ``trace`` for the snapshot paths (Scenario -> chunk stream).
+
+    Mirrors :meth:`ServerSystem.run`'s scenario handling so skipping and
+    tail-running see the identical chunk stream a direct run would.
+    """
+    # Lazy import: repro.scenario layers above repro.sim.
+    from repro.scenario.compiler import iter_scenario_chunks
+    from repro.scenario.spec import Scenario
+
+    if isinstance(trace, Scenario):
+        return iter_scenario_chunks(trace)
+    return trace
+
+
+def _coerce_snapshot(snapshot) -> SystemSnapshot:
+    if isinstance(snapshot, SystemSnapshot):
+        return snapshot
+    return load_snapshot(snapshot)
+
+
+def _run_from_snapshot(snap: SystemSnapshot, trace: TraceLike,
+                       config: SystemConfig, interp: Optional[str] = None,
+                       telemetry=None) -> SimulationResult:
+    """Fork a system from ``snap`` and measure the remainder of ``trace``."""
+    if snap.config_key != _snapshot_config_key(config):
+        raise ValueError(
+            "snapshot was captured under a different system configuration")
+    system = restore(snap, telemetry=telemetry, interp=interp)
+    record_snapshot_restore(snap.nbytes)
+    tail = skip_accesses(_as_stream(trace), snap.processed)
+    return system.run(tail, warmup_accesses=0)
+
+
+def _resolve_snapshot_store(warmup_snapshot):
+    """Turn ``warmup_snapshot`` into a store handle with snapshot accessors."""
+    # Lazy imports: repro.sim must stay importable without repro.exec.
+    if warmup_snapshot is True:
+        from repro.exec.store import default_snapshot_store
+
+        store = default_snapshot_store()
+        if store is None:
+            raise ValueError(
+                "no snapshot store configured: set REPRO_SNAPSHOT_DIR or "
+                "REPRO_ARTIFACT_DIR, or pass an ArtifactStore")
+        return store
+    if hasattr(warmup_snapshot, "get_snapshot"):
+        return warmup_snapshot
+    from repro.exec.store import ArtifactStore
+
+    return ArtifactStore(warmup_snapshot)
+
+
+def _run_with_warmup_store(trace: TraceLike, config: SystemConfig,
+                           warmup_snapshot, snapshot_key: Optional[str],
+                           workload_name: str, warmup: int,
+                           cache_engine: Optional[str],
+                           dram_engine: Optional[str],
+                           interp: Optional[str],
+                           telemetry) -> SimulationResult:
+    """Warmup via the snapshot store: restore on hit, capture-once on miss."""
+    store = _resolve_snapshot_store(warmup_snapshot)
+    if snapshot_key is None:
+        raise ValueError(
+            "warmup_snapshot requires snapshot_key (run_workload, "
+            "run_workload_streaming and run_scenario compute it; see "
+            "repro.sim.snapshot.snapshot_fingerprint)")
+    snap = store.get_snapshot(snapshot_key)
+    if snap is not None:
+        if snap.processed != warmup:
+            raise ValueError(
+                f"snapshot under key {snapshot_key!r} was captured after "
+                f"{snap.processed} accesses, not the requested {warmup}")
+        return _run_from_snapshot(snap, trace, config, interp=interp,
+                                  telemetry=telemetry)
+    system = ServerSystem(config, workload_name=workload_name,
+                          cache_engine=cache_engine, dram_engine=dram_engine,
+                          interp=interp, telemetry=telemetry)
+    snap, leftover, chunk_iter = capture_warmup(system, _as_stream(trace),
+                                                warmup)
+    store.put_snapshot(snapshot_key, snap)
+    record_snapshot_capture(snap.nbytes)
+
+    def tail():
+        if leftover is not None and len(leftover):
+            yield leftover
+        for chunk in chunk_iter:
+            yield chunk
+
+    return system.run(tail(), warmup_accesses=0)
 
 
 def _trace_length(trace: TraceLike) -> Optional[int]:
@@ -216,13 +366,28 @@ def run_workload(workload: Union[str, WorkloadSpec], config: SystemConfig,
                  cache_engine: Optional[str] = None,
                  dram_engine: Optional[str] = None,
                  interp: Optional[str] = None,
-                 telemetry=None) -> SimulationResult:
-    """Run one workload through one system configuration."""
+                 telemetry=None,
+                 snapshot=None,
+                 warmup_snapshot=None) -> SimulationResult:
+    """Run one workload through one system configuration.
+
+    ``snapshot`` / ``warmup_snapshot`` behave as in :func:`run_trace`; the
+    warmup fingerprint is computed here from the workload spec, geometry and
+    engine selection.
+    """
     spec = get_workload(workload) if isinstance(workload, str) else workload
     trace = build_trace(spec, num_accesses, num_cores, seed)
+    key = None
+    if warmup_snapshot is not None and warmup_fraction > 0:
+        key = snapshot_fingerprint(
+            spec, config, int(num_accesses * warmup_fraction),
+            num_cores=num_cores, seed=seed,
+            cache_engine=cache_engine, dram_engine=dram_engine)
     return run_trace(trace, config, workload_name=spec.name,
                      warmup_fraction=warmup_fraction, cache_engine=cache_engine,
-                     dram_engine=dram_engine, interp=interp, telemetry=telemetry)
+                     dram_engine=dram_engine, interp=interp, telemetry=telemetry,
+                     snapshot=snapshot, warmup_snapshot=warmup_snapshot,
+                     snapshot_key=key)
 
 
 def run_workload_streaming(workload: Union[str, WorkloadSpec], config: SystemConfig,
@@ -234,7 +399,9 @@ def run_workload_streaming(workload: Union[str, WorkloadSpec], config: SystemCon
                            cache_engine: Optional[str] = None,
                            dram_engine: Optional[str] = None,
                            interp: Optional[str] = None,
-                           telemetry=None) -> SimulationResult:
+                           telemetry=None,
+                           snapshot=None,
+                           warmup_snapshot=None) -> SimulationResult:
     """Run one workload at bounded memory: generator chunks feed the simulator.
 
     The trace is never materialized (neither as objects nor as one large
@@ -246,6 +413,11 @@ def run_workload_streaming(workload: Union[str, WorkloadSpec], config: SystemCon
     call then delegates to :func:`repro.scenario.runner.run_scenario` (the
     scenario defines its own length and core layout, so ``num_accesses`` and
     ``num_cores`` are ignored).
+
+    ``snapshot`` / ``warmup_snapshot`` behave as in :func:`run_trace` and
+    stay streaming: a snapshot hit skips the warmup prefix without
+    generating it access by access (the generators are cheap; the simulator
+    is not).
     """
     if hasattr(workload, "phases") and hasattr(workload, "total_accesses"):
         # Lazy import: repro.scenario layers above repro.sim.
@@ -255,14 +427,23 @@ def run_workload_streaming(workload: Union[str, WorkloadSpec], config: SystemCon
                             warmup_fraction=warmup_fraction,
                             chunk_size=chunk_size, cache_engine=cache_engine,
                             dram_engine=dram_engine, interp=interp,
-                            telemetry=telemetry)
+                            telemetry=telemetry, snapshot=snapshot,
+                            warmup_snapshot=warmup_snapshot)
     spec = get_workload(workload) if isinstance(workload, str) else workload
     chunks = iter_trace_chunks(spec, num_accesses, num_cores=num_cores,
                                seed=seed, chunk_size=chunk_size)
+    key = None
+    if warmup_snapshot is not None and warmup_fraction > 0:
+        key = snapshot_fingerprint(
+            spec, config, int(num_accesses * warmup_fraction),
+            num_cores=num_cores, seed=seed,
+            cache_engine=cache_engine, dram_engine=dram_engine)
     return run_trace(chunks, config, workload_name=spec.name,
                      warmup_fraction=warmup_fraction, num_accesses=num_accesses,
                      cache_engine=cache_engine, dram_engine=dram_engine,
-                     interp=interp, telemetry=telemetry)
+                     interp=interp, telemetry=telemetry,
+                     snapshot=snapshot, warmup_snapshot=warmup_snapshot,
+                     snapshot_key=key)
 
 
 def run_configs(workload: Union[str, WorkloadSpec], configs: Iterable[SystemConfig],

@@ -1,0 +1,544 @@
+"""Warm-state snapshots: checkpoint/restore of a full :class:`ServerSystem`.
+
+Warmup dominates BuMP-style studies: row-buffer locality, LRU stamp state
+and predictor tables only become representative after hundreds of thousands
+of accesses, and every what-if query re-pays that warmup from a cold system.
+The PR 3/5/7 flattening program turned all engine state into a handful of
+NumPy arrays plus small Python containers, which makes full-system
+checkpoint/restore a cheap serialization problem.  This module provides it:
+
+* :func:`capture` freezes a :class:`ServerSystem` at a chunk boundary into a
+  :class:`SystemSnapshot`;
+* :func:`restore` builds a *fresh* system from the snapshot such that
+  continuing it is **bit-identical** to never having stopped (the same
+  parity bar every engine met: chunk boundaries are architecturally
+  invisible, so capture-at-boundary + continue replays to the same state);
+* :func:`capture_warmup` runs a trace's warmup interval and captures at the
+  measurement boundary -- the pay-warmup-once / fork-per-query entry point;
+* :func:`save_snapshot` / :func:`load_snapshot` persist snapshots as ``.npz``
+  containers (big cache arrays as native members, everything else as one
+  pickle blob) for the artifact store and cross-process restore;
+* :func:`snapshot_fingerprint` names a warm state by what produced it:
+  (workload/scenario spec, system configuration, warmup length, cores, seed,
+  engine selection, package version).
+
+**Restore strategy.**  ``restore`` never unpickles a live system wholesale.
+It builds a fresh :class:`ServerSystem` from the snapshot's configuration
+(re-deriving every view, memoryview alias and pooled allocation exactly as
+``__init__`` does), then copies the captured state *into* it: pooled cache
+arrays are written in place (so the per-core memoryview aliases stay valid),
+slot indices / stat groups / the memory system / agents are replaced as
+objects, and the one derived binding that references a replaced dict
+(``_l1_slot_get``) is rebuilt.  Each restore unpickles a private copy of the
+state blob, so many systems can be forked from one snapshot without sharing
+mutable state.
+
+**What is deliberately not captured.**  Telemetry recorders (an observer,
+never observable -- off==on bit-identity is an invariant), the interpreter
+selection (vector and scalar are bit-identical; the restorer picks), and
+``extra_agents`` attached after construction (they cannot be fingerprinted;
+:func:`capture` refuses systems whose agent roster differs from what the
+configuration builds).
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.cache.engine import cache_engine_name
+from repro.cache.replacement import LRUPolicy
+from repro.common.fingerprint import canonical_data, fingerprint
+from repro.dram.engine import resolve_dram_engine
+from repro.sim.system import ServerSystem
+from repro.trace.buffer import as_chunk_iterator
+
+__all__ = [
+    "SNAPSHOT_FORMAT_VERSION",
+    "SystemSnapshot",
+    "capture",
+    "capture_warmup",
+    "load_snapshot",
+    "restore",
+    "resolved_engines",
+    "save_snapshot",
+    "skip_accesses",
+    "snapshot_fingerprint",
+]
+
+#: Container format version.  Bumped whenever the captured state layout
+#: changes incompatibly; :func:`load_snapshot` and :func:`restore` refuse
+#: other versions (the fingerprint additionally carries the package version,
+#: so stale-but-loadable snapshots never match a fresh fingerprint either).
+SNAPSHOT_FORMAT_VERSION = 1
+
+#: Crossbar counters (plain ints on the hot path), captured by name.
+_NOC_COUNTERS = (
+    "n_request",
+    "n_request_with_pc",
+    "n_data",
+    "n_predictor_notify",
+    "n_generated_request",
+)
+
+#: ServerSystem interpreter-cursor scalars, captured by name.
+_SCALARS = (
+    "_core_cycle",
+    "_arrival_bus",
+    "_instructions",
+    "_measurement_start_core_cycle",
+    "_measurement_start_bus_cycle",
+)
+
+#: npz member-name prefix for the native array members.
+_ARRAY_PREFIX = "array_"
+
+
+def _package_version() -> str:
+    # Imported lazily: repro/__init__ imports repro.sim, so a module-level
+    # import would be circular.
+    from repro import __version__
+
+    return __version__
+
+
+@dataclass
+class SystemSnapshot:
+    """One captured warm state, self-describing and restore-ready.
+
+    ``arrays`` holds the big flat-engine cache planes as native NumPy arrays
+    (mmap-friendly in the ``.npz`` container); ``state_blob`` is one pickle
+    of everything else -- slot indices, stat groups, the memory system,
+    agents, NOC counters and interpreter cursors -- serialized as a single
+    object graph so internal aliasing (``system.bump`` *is* an entry of
+    ``system.agents``; a DRAM ready-bucket *is* a ``_by_key`` value) survives
+    the round trip.
+    """
+
+    format_version: int
+    package_version: str
+    workload_name: str
+    cache_engine: str
+    dram_engine: str
+    #: Accesses consumed before capture (the warmup length for warmup
+    #: snapshots); restore paths skip exactly this many from the trace.
+    processed: int
+    #: Fingerprint of the capturing system's configuration (name and
+    #: description dropped); restore against a different configuration is
+    #: refused.
+    config_key: str
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+    state_blob: bytes = b""
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate in-memory size (array bytes + state blob bytes)."""
+        return sum(a.nbytes for a in self.arrays.values()) + len(self.state_blob)
+
+    def describe(self) -> Dict[str, object]:
+        """Human-oriented metadata (``repro snapshot info``)."""
+        return {
+            "format_version": self.format_version,
+            "package_version": self.package_version,
+            "workload": self.workload_name,
+            "cache_engine": self.cache_engine,
+            "dram_engine": self.dram_engine,
+            "processed_accesses": self.processed,
+            "config_key": self.config_key,
+            "array_members": len(self.arrays),
+            "array_bytes": sum(a.nbytes for a in self.arrays.values()),
+            "state_bytes": len(self.state_blob),
+            "total_bytes": self.nbytes,
+        }
+
+
+def config_key(config) -> str:
+    """Fingerprint of a system configuration's behaviour-relevant fields.
+
+    ``name`` and ``description`` are labels, not behaviour (two differently
+    named but identical configurations produce identical warm state), so
+    they are dropped -- mirroring the result-fingerprint convention of
+    :mod:`repro.exec.jobs`.
+    """
+    data = canonical_data(config)
+    data.pop("name", None)
+    data.pop("description", None)
+    return fingerprint(data)
+
+
+def resolved_engines(config, cache_engine: Optional[str] = None,
+                     dram_engine: Optional[str] = None) -> Tuple[str, str]:
+    """The (cache, DRAM) engine names a system built this way would run.
+
+    Snapshot fingerprints must key on *effective* engines: the DRAM engine
+    transparently downgrades to ``object`` for ablation schedulers and
+    oversized organisations, and an env-var override changes the default.
+    """
+    return (
+        cache_engine_name(cache_engine),
+        resolve_dram_engine(dram_engine, scheduler=config.scheduler,
+                            org=config.system.dram_org),
+    )
+
+
+def snapshot_fingerprint(workload, config, warmup_accesses: int,
+                         num_cores: Optional[int] = None,
+                         seed: Optional[int] = None,
+                         cache_engine: Optional[str] = None,
+                         dram_engine: Optional[str] = None) -> str:
+    """Content address of the warm state a (spec, config, warmup) run produces.
+
+    The trace *prefix* generated for a (workload spec, cores, seed) triple is
+    identical regardless of the total trace length -- the generators draw
+    per-(core, slot) RNG streams -- so the fingerprint deliberately excludes
+    the total access count: a 60k-access query and a 240k-access query with
+    the same 30k-access warmup share one snapshot.  Scenarios carry their
+    core count in the spec, so ``num_cores`` may be ``None`` for them.
+    """
+    engines = resolved_engines(config, cache_engine, dram_engine)
+    return fingerprint({
+        "kind": "snapshot",
+        "version": _package_version(),
+        "workload": canonical_data(workload),
+        "config": config_key(config),
+        "warmup_accesses": int(warmup_accesses),
+        "num_cores": num_cores,
+        "seed": seed,
+        "cache_engine": engines[0],
+        "dram_engine": engines[1],
+    })
+
+
+# --------------------------------------------------------------------- #
+# Capture
+# --------------------------------------------------------------------- #
+def _flush_pending(system: ServerSystem) -> None:
+    """Fold every hot-path pending counter into its StatGroup.
+
+    All of these folds are semantically neutral (every external read goes
+    through the flushing ``stats`` properties anyway); doing them before
+    capture means the pickled StatGroups are complete and the freshly built
+    restore target's zeroed pending ints are correct.
+    """
+    system._flush_dram()
+    system._flush_hot_counters()
+    system.llc.stats  # wrapper pendings -> StatGroup
+    if system._flat_engine:
+        for cache in system._l1_arrays:
+            cache.stats
+        system._llc_array.stats
+
+
+def capture(system: ServerSystem, processed: int) -> SystemSnapshot:
+    """Freeze ``system`` at a chunk boundary into a :class:`SystemSnapshot`.
+
+    Must be called at a chunk boundary (the staged DRAM batch is flushed
+    here, which is exactly what ``_run_chunk`` does at every boundary, so
+    capturing between chunks never perturbs the run).  The system stays
+    valid and can keep running afterwards.
+
+    ``processed`` records how many trace accesses the system has consumed;
+    restore paths skip exactly that many before continuing.
+
+    Systems carrying agents beyond what their configuration builds
+    (``run_trace``'s ``extra_agents``) are refused: those agents are not
+    part of the fingerprint, so a snapshot would silently drop or duplicate
+    their effect on another query.
+    """
+    _check_no_extra_agents(system)
+    _flush_pending(system)
+
+    state: Dict[str, object] = {
+        "config": system.config,
+        "workload_name": system.workload_name,
+        "counters": system.counters,
+        "noc": {name: getattr(system.noc, name) for name in _NOC_COUNTERS},
+        "scalars": {name: getattr(system, name) for name in _SCALARS},
+        "memory": system.memory,
+        "agents": system.agents,
+        "bump": system.bump,
+        "profiler": system.profiler,
+    }
+    arrays: Dict[str, np.ndarray] = {}
+    if system._flat_engine:
+        arrays["l1_tags"] = system._l1_pool_tags.copy()
+        arrays["l1_flags"] = system._l1_pool_flags.copy()
+        arrays["l1_pcs"] = system._l1_pool_pcs.copy()
+        arrays["l1_cores"] = system._l1_pool_cores.copy()
+        arrays["l1_stamps"] = system._l1_pool_stamps.copy()
+        arrays["l1_ticks"] = system._l1_pool_ticks.copy()
+        llc = system._llc_array
+        arrays["llc_tags"] = llc.tags.copy()
+        arrays["llc_flags"] = llc.flags.copy()
+        arrays["llc_pcs"] = llc.pcs.copy()
+        arrays["llc_cores"] = llc.cores.copy()
+        arrays["llc_stamps"] = llc.stamps.copy()
+        arrays["llc_ticks"] = llc.ticks.copy()
+        state["l1_state"] = [_flat_cache_state(cache)
+                             for cache in system._l1_arrays]
+        state["llc_state"] = _flat_cache_state(llc)
+        state["llc_wrapper_stats"] = system.llc._stats
+    else:
+        # Dict engine: the per-line-object caches pickle wholesale (their
+        # pending counter ints ride along inside the objects).
+        state["l1s"] = system.l1s
+        state["llc"] = system.llc
+
+    blob = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+    return SystemSnapshot(
+        format_version=SNAPSHOT_FORMAT_VERSION,
+        package_version=_package_version(),
+        workload_name=system.workload_name,
+        cache_engine=system.cache_engine,
+        dram_engine=system.dram_engine,
+        processed=int(processed),
+        config_key=config_key(system.config),
+        arrays=arrays,
+        state_blob=blob,
+    )
+
+
+def _check_no_extra_agents(system: ServerSystem) -> None:
+    reference = ServerSystem.__new__(ServerSystem)
+    reference.config = system.config
+    reference.agents = []
+    reference.bump = None
+    reference.profiler = None
+    reference._build_agents()
+    if len(system.agents) != len(reference.agents) or any(
+            type(a) is not type(b)
+            for a, b in zip(system.agents, reference.agents)):
+        raise ValueError(
+            "snapshots cannot capture systems with extra_agents: the extra "
+            "agents are not part of the snapshot fingerprint")
+
+
+def _flat_cache_state(cache) -> Dict[str, object]:
+    """The non-array state of one :class:`FlatSetAssociativeCache`.
+
+    The five state planes + tick array travel as native npz members (see
+    :func:`capture`); everything else -- the block->slot index, per-set
+    occupancy, flushed statistics and the replacement policy (including any
+    seeded RNG, which is the snapshot's "RNG state") -- pickles here.
+    """
+    return {
+        "slot_of": cache._slot_of,
+        "count": cache._count,
+        "stats": cache._stats,
+        "policy": cache.policy,
+    }
+
+
+# --------------------------------------------------------------------- #
+# Restore
+# --------------------------------------------------------------------- #
+def restore(snapshot: SystemSnapshot, telemetry=None,
+            interp: Optional[str] = None) -> ServerSystem:
+    """Build a fresh :class:`ServerSystem` in the snapshot's captured state.
+
+    Continuing the returned system over the remainder of the capturing trace
+    is bit-identical to the uninterrupted run.  Each call unpickles its own
+    copy of the state blob, so any number of independent systems can be
+    forked from one snapshot (the fork-per-query pattern).
+
+    ``telemetry`` and ``interp`` are free choices of the restorer -- both
+    are bit-identity-invariant, so neither is part of the captured state.
+    """
+    if snapshot.format_version != SNAPSHOT_FORMAT_VERSION:
+        raise ValueError(
+            f"snapshot format v{snapshot.format_version} is not supported "
+            f"by this build (expected v{SNAPSHOT_FORMAT_VERSION})")
+    state = pickle.loads(snapshot.state_blob)
+    system = ServerSystem(
+        state["config"],
+        workload_name=state["workload_name"],
+        cache_engine=snapshot.cache_engine,
+        dram_engine=snapshot.dram_engine,
+        interp=interp,
+        telemetry=telemetry,
+    )
+    if system.cache_engine != snapshot.cache_engine \
+            or system.dram_engine != snapshot.dram_engine:
+        raise ValueError(
+            f"engine resolution drifted: snapshot was captured on "
+            f"({snapshot.cache_engine}, {snapshot.dram_engine}) but this "
+            f"build resolves ({system.cache_engine}, {system.dram_engine})")
+
+    arrays = snapshot.arrays
+    if system._flat_engine:
+        # Pooled L1 planes are written *in place*: every per-core cache's
+        # flat views and memoryview aliases stay valid.
+        np.copyto(system._l1_pool_tags, arrays["l1_tags"])
+        np.copyto(system._l1_pool_flags, arrays["l1_flags"])
+        np.copyto(system._l1_pool_pcs, arrays["l1_pcs"])
+        np.copyto(system._l1_pool_cores, arrays["l1_cores"])
+        np.copyto(system._l1_pool_stamps, arrays["l1_stamps"])
+        np.copyto(system._l1_pool_ticks, arrays["l1_ticks"])
+        llc = system._llc_array
+        np.copyto(llc.tags, arrays["llc_tags"])
+        np.copyto(llc.flags, arrays["llc_flags"])
+        np.copyto(llc.pcs, arrays["llc_pcs"])
+        np.copyto(llc.cores, arrays["llc_cores"])
+        np.copyto(llc.stamps, arrays["llc_stamps"])
+        np.copyto(llc.ticks, arrays["llc_ticks"])
+        for cache, saved in zip(system._l1_arrays, state["l1_state"]):
+            _load_flat_cache(cache, saved)
+        _load_flat_cache(llc, state["llc_state"])
+        # The slot-index dicts were replaced; rebuild the one derived
+        # binding that captured the old dicts' bound methods.
+        system._l1_slot_get = [cache._slot_of.get
+                               for cache in system._l1_arrays]
+        system.llc._stats = state["llc_wrapper_stats"]
+    else:
+        system.l1s = state["l1s"]
+        system.llc = state["llc"]
+
+    system.memory = state["memory"]
+    system.agents = state["agents"]
+    system.bump = state["bump"]
+    system.profiler = state["profiler"]
+    system._refresh_agent_hooks()
+    system.counters = state["counters"]
+    for name, value in state["noc"].items():
+        setattr(system.noc, name, value)
+    for name, value in state["scalars"].items():
+        setattr(system, name, value)
+    return system
+
+
+def _load_flat_cache(cache, saved: Dict[str, object]) -> None:
+    """Adopt captured non-array state into a fresh flat cache.
+
+    The policy's promotion semantics are re-derived exactly as the
+    constructor does (``_lru`` drives the inlined victim scan, ``_promote``
+    the stamp writes); a captured RandomPolicy arrives with its RNG
+    mid-sequence, which is precisely what parity requires.
+    """
+    cache._slot_of = saved["slot_of"]
+    cache._count = saved["count"]
+    cache._stats = saved["stats"]
+    policy = saved["policy"]
+    cache.policy = policy
+    cache._lru = policy.__class__ is LRUPolicy
+    cache._promote = True if cache._lru else policy.touch_promotes
+
+
+# --------------------------------------------------------------------- #
+# Warmup capture and trace skipping
+# --------------------------------------------------------------------- #
+def capture_warmup(system: ServerSystem, trace, warmup_accesses: int):
+    """Run ``trace``'s warmup interval on ``system`` and capture at the boundary.
+
+    Returns ``(snapshot, leftover, chunk_iter)``: the captured warm state,
+    the unconsumed tail of the chunk the boundary fell inside (``None`` when
+    the boundary coincided with a chunk edge), and the live chunk iterator
+    positioned after that chunk.  The caller measures by running ``leftover``
+    (if any) plus the remaining chunks with ``warmup_accesses=0`` -- chunk
+    boundaries are architecturally invisible, so this is bit-identical to the
+    uninterrupted warmup-split run.
+
+    The warmup interval itself runs unrecorded (``_run_chunk`` directly):
+    telemetry of a warmup that later queries skip entirely would be
+    misleading, and telemetry never affects results.
+    """
+    if warmup_accesses <= 0:
+        raise ValueError("capture_warmup requires a positive warmup interval")
+    system._refresh_agent_hooks()
+    chunk_iter = iter(as_chunk_iterator(trace))
+    processed = 0
+    for chunk in chunk_iter:
+        n = len(chunk)
+        if not n:
+            continue
+        if processed + n >= warmup_accesses:
+            split = warmup_accesses - processed
+            system._run_chunk(chunk if split == n else chunk[:split])
+            system.begin_measurement()
+            snapshot = capture(system, processed=warmup_accesses)
+            leftover = chunk[split:] if split < n else None
+            return snapshot, leftover, chunk_iter
+        system._run_chunk(chunk)
+        processed += n
+    raise ValueError("trace shorter than the requested warmup interval")
+
+
+def skip_accesses(chunks, n: int) -> Iterator:
+    """Yield ``chunks`` with the first ``n`` accesses dropped.
+
+    Restore paths position a full trace stream at a snapshot's boundary
+    without simulating the skipped prefix.  Chunk-size invariance makes the
+    re-chunked tail equivalent to the original split.
+    """
+    remaining = n
+    for chunk in as_chunk_iterator(chunks):
+        length = len(chunk)
+        if remaining >= length:
+            remaining -= length
+            continue
+        if remaining:
+            yield chunk[remaining:]
+            remaining = 0
+        else:
+            yield chunk
+
+
+# --------------------------------------------------------------------- #
+# Persistence (.npz codec)
+# --------------------------------------------------------------------- #
+def save_snapshot(snapshot: SystemSnapshot, path) -> None:
+    """Write ``snapshot`` to ``path`` as an ``.npz`` container.
+
+    The big cache planes are native members (zero-copy on the write side,
+    regular arrays on load); the metadata rides as a JSON byte member and
+    the pickled state as a raw byte member, so ``allow_pickle`` stays off
+    for the container itself.
+    """
+    meta = {
+        "format_version": snapshot.format_version,
+        "package_version": snapshot.package_version,
+        "workload_name": snapshot.workload_name,
+        "cache_engine": snapshot.cache_engine,
+        "dram_engine": snapshot.dram_engine,
+        "processed": snapshot.processed,
+        "config_key": snapshot.config_key,
+    }
+    members = {
+        "meta": np.frombuffer(json.dumps(meta, sort_keys=True).encode("utf-8"),
+                              dtype=np.uint8),
+        "state": np.frombuffer(snapshot.state_blob, dtype=np.uint8),
+    }
+    for name, array in snapshot.arrays.items():
+        members[_ARRAY_PREFIX + name] = array
+    # An explicit file object stops np.savez appending a second ``.npz``
+    # suffix to staging paths.
+    with open(path, "wb") as handle:
+        np.savez(handle, **members)
+
+
+def load_snapshot(path) -> SystemSnapshot:
+    """Read a :func:`save_snapshot` container back into a :class:`SystemSnapshot`."""
+    with np.load(path, allow_pickle=False) as data:
+        meta = json.loads(bytes(data["meta"]).decode("utf-8"))
+        version = meta.get("format_version")
+        if version != SNAPSHOT_FORMAT_VERSION:
+            raise ValueError(
+                f"snapshot format v{version} is not supported by this build "
+                f"(expected v{SNAPSHOT_FORMAT_VERSION})")
+        arrays = {name[len(_ARRAY_PREFIX):]: data[name]
+                  for name in data.files if name.startswith(_ARRAY_PREFIX)}
+        blob = data["state"].tobytes()
+    return SystemSnapshot(
+        format_version=version,
+        package_version=meta["package_version"],
+        workload_name=meta["workload_name"],
+        cache_engine=meta["cache_engine"],
+        dram_engine=meta["dram_engine"],
+        processed=int(meta["processed"]),
+        config_key=meta["config_key"],
+        arrays=arrays,
+        state_blob=blob,
+    )
