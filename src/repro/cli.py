@@ -25,6 +25,12 @@ Command                Purpose
 ``report``             render telemetry artifacts: run timelines and span
                        tables from JSONL event logs, campaign metrics files,
                        and the in-process trace/snapshot-cache counters
+``fuzz``               scenario fuzzer + differential verification engine:
+                       generate random valid scenario/config specs and prove
+                       engine-cube / chunk-size / telemetry / snapshot
+                       bit-identity on each (``--budget``, ``--seed``,
+                       ``--corpus``); failures are shrunk to minimal
+                       replayable reproducers
 =====================  =====================================================
 
 Every command prints plain text to stdout; exit status is zero on success,
@@ -520,6 +526,118 @@ def cmd_snapshot_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+    import time
+    from pathlib import Path
+
+    from repro.fuzz import (
+        corpus_paths,
+        generate_spec,
+        load_spec,
+        run_oracle,
+        save_spec,
+        shrink,
+        spec_fingerprint,
+    )
+
+    if args.budget < 0:
+        raise SystemExit("--budget must be non-negative")
+    if args.shrink_attempts < 0:
+        raise SystemExit("--shrink-attempts must be non-negative")
+    deadline = None
+    if args.time_budget:
+        if args.time_budget <= 0:
+            raise SystemExit("--time-budget must be positive (seconds)")
+        deadline = time.monotonic() + args.time_budget
+
+    artifacts = Path(args.artifacts)
+    started = time.monotonic()
+    examined = corpus_examined = 0
+    truncated = False
+    failures: List[Dict[str, object]] = []
+
+    def _examine(spec, origin: str) -> None:
+        """Oracle one spec; on failure shrink it and write the reproducer."""
+        label = spec.get("label", "fuzz")
+        try:
+            report = run_oracle(spec)
+        except Exception as exc:  # a crash on a valid spec is a finding
+            artifact = save_spec(
+                spec, artifacts / f"{label}-crash.json")
+            failures.append({
+                "label": label, "origin": origin, "kind": "crash",
+                "error": f"{type(exc).__name__}: {exc}",
+                "artifact": str(artifact),
+            })
+            _print(f"CRASH {label} [{origin}]: {type(exc).__name__}: {exc} "
+                   f"-> {artifact}")
+            return
+        if report.ok:
+            if args.verbose:
+                _print(report.describe())
+            return
+        record: Dict[str, object] = {
+            "label": label, "origin": origin, "kind": "parity",
+            "failed_checks": report.failed_checks,
+            "cells": [c.describe() for c in report.failures],
+        }
+        if args.shrink_attempts:
+            result = shrink(spec, checks=report.failed_checks,
+                            max_attempts=args.shrink_attempts)
+            minimal = result.spec
+            record["shrink_attempts"] = result.attempts
+            record["shrink_steps"] = result.steps
+        else:
+            minimal = spec
+        artifact = save_spec(
+            minimal,
+            artifacts / f"{label}-{spec_fingerprint(minimal)[:12]}.json")
+        record["artifact"] = str(artifact)
+        failures.append(record)
+        _print(f"{report.describe()} -> reproducer {artifact}")
+
+    if args.corpus:
+        paths = corpus_paths(args.corpus)
+        if not paths and not Path(args.corpus).is_dir():
+            raise SystemExit(f"corpus directory not found: {args.corpus!r}")
+        for path in paths:
+            try:
+                spec = load_spec(path)
+            except ValueError as exc:
+                raise SystemExit(str(exc))
+            _examine(spec, origin=f"corpus:{path.name}")
+            corpus_examined += 1
+
+    for index in range(args.budget):
+        if deadline is not None and time.monotonic() >= deadline:
+            truncated = True
+            _print(f"time budget exhausted after {examined} of "
+                   f"{args.budget} generated sample(s)")
+            break
+        _examine(generate_spec(args.seed, index), origin="generated")
+        examined += 1
+
+    elapsed = time.monotonic() - started
+    summary = {
+        "seed": args.seed,
+        "budget": args.budget,
+        "generated_examined": examined,
+        "corpus_examined": corpus_examined,
+        "truncated": truncated,
+        "elapsed_seconds": round(elapsed, 3),
+        "failures": failures,
+    }
+    if args.summary:
+        Path(args.summary).write_text(
+            json.dumps(summary, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        _print(f"wrote fuzz summary to {args.summary}")
+    _print(f"fuzz: {corpus_examined} corpus + {examined} generated sample(s) "
+           f"in {elapsed:.1f}s, {len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     import json
 
@@ -800,6 +918,36 @@ def build_parser() -> argparse.ArgumentParser:
                                     "$REPRO_SNAPSHOT_DIR or "
                                     "$REPRO_ARTIFACT_DIR)")
     snapshot_list.set_defaults(handler=cmd_snapshot_list)
+
+    fuzz = subparsers.add_parser(
+        "fuzz",
+        help="differential fuzzing: random scenario/config specs proven "
+             "bit-identical across the engine cube, chunk sizes, telemetry "
+             "and snapshot resume")
+    fuzz.add_argument("--budget", type=int, default=100,
+                      help="number of generated samples to examine "
+                           "(default: 100)")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="spec-generator stream seed (default: 0)")
+    fuzz.add_argument("--corpus", default="",
+                      help="replay every .json spec in this directory before "
+                           "generating new samples")
+    fuzz.add_argument("--artifacts", default="fuzz-artifacts",
+                      help="directory for shrunk reproducer artifacts "
+                           "(default: fuzz-artifacts)")
+    fuzz.add_argument("--time-budget", type=float, default=0.0,
+                      metavar="SECONDS",
+                      help="stop generating new samples after this many "
+                           "seconds (corpus replay always completes)")
+    fuzz.add_argument("--summary", default="",
+                      help="write a machine-readable JSON run summary here")
+    fuzz.add_argument("--shrink-attempts", type=int, default=200,
+                      help="max candidate evaluations while shrinking a "
+                           "failure (0 writes the unshrunk spec)")
+    fuzz.add_argument("--verbose", action="store_true",
+                      help="print a line per passing sample, not only "
+                           "failures")
+    fuzz.set_defaults(handler=cmd_fuzz)
 
     report = subparsers.add_parser(
         "report",

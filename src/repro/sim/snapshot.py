@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import json
 import pickle
+import zipfile
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional, Tuple
 
@@ -520,17 +521,30 @@ def save_snapshot(snapshot: SystemSnapshot, path) -> None:
 
 
 def load_snapshot(path) -> SystemSnapshot:
-    """Read a :func:`save_snapshot` container back into a :class:`SystemSnapshot`."""
-    with np.load(path, allow_pickle=False) as data:
-        meta = json.loads(bytes(data["meta"]).decode("utf-8"))
-        version = meta.get("format_version")
-        if version != SNAPSHOT_FORMAT_VERSION:
-            raise ValueError(
-                f"snapshot format v{version} is not supported by this build "
-                f"(expected v{SNAPSHOT_FORMAT_VERSION})")
-        arrays = {name[len(_ARRAY_PREFIX):]: data[name]
-                  for name in data.files if name.startswith(_ARRAY_PREFIX)}
-        blob = data["state"].tobytes()
+    """Read a :func:`save_snapshot` container back into a :class:`SystemSnapshot`.
+
+    Raises ``OSError`` for missing/unreadable files and ``ValueError`` for
+    corrupt or incomplete containers (truncated zip, missing members, bad
+    metadata) -- callers can rely on those two types covering every failure
+    mode instead of leaking ``zipfile``/``json`` internals.
+    """
+    try:
+        # np.load raises ValueError too (e.g. misdetecting arbitrary bytes as
+        # pickled data), so the version check lives outside the try block to
+        # keep its message un-wrapped.
+        with np.load(path, allow_pickle=False) as data:
+            meta = json.loads(bytes(data["meta"]).decode("utf-8"))
+            arrays = {name[len(_ARRAY_PREFIX):]: data[name]
+                      for name in data.files if name.startswith(_ARRAY_PREFIX)}
+            blob = data["state"].tobytes()
+    except (ValueError, zipfile.BadZipFile, KeyError,
+            json.JSONDecodeError) as exc:
+        raise ValueError(f"corrupt snapshot container {path}: {exc}")
+    version = meta.get("format_version")
+    if version != SNAPSHOT_FORMAT_VERSION:
+        raise ValueError(
+            f"snapshot format v{version} is not supported by this "
+            f"build (expected v{SNAPSHOT_FORMAT_VERSION})")
     return SystemSnapshot(
         format_version=version,
         package_version=meta["package_version"],

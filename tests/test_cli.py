@@ -238,3 +238,103 @@ class TestTelemetryCli:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "web_search",
                                        "--telemetry", "loud"])
+
+
+class TestFailurePaths:
+    """Every broken invocation must exit nonzero with an actionable message,
+    never a traceback."""
+
+    def test_scenario_run_rejects_unknown_scenario(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            run_cli(capsys, "scenario", "run", "no-such-scenario",
+                    "--system", "base_open")
+        message = str(err.value)
+        assert "no-such-scenario" in message
+        assert "known scenarios" in message
+
+    def test_run_rejects_missing_snapshot_file(self, capsys, tmp_path):
+        missing = tmp_path / "nowhere.npz"
+        with pytest.raises(SystemExit) as err:
+            run_cli(capsys, "run", "web_search", "--accesses", "2000",
+                    "--snapshot", str(missing))
+        assert err.value.code not in (0, None)
+        assert "nowhere.npz" in str(err.value)
+
+    def test_run_rejects_corrupt_snapshot_file(self, capsys, tmp_path):
+        corrupt = tmp_path / "corrupt.npz"
+        corrupt.write_bytes(b"this is not a numpy archive")
+        with pytest.raises(SystemExit) as err:
+            run_cli(capsys, "run", "web_search", "--accesses", "2000",
+                    "--snapshot", str(corrupt))
+        assert err.value.code not in (0, None)
+        assert "corrupt" in str(err.value)
+
+    def test_snapshot_info_rejects_corrupt_file(self, capsys, tmp_path):
+        corrupt = tmp_path / "corrupt.npz"
+        corrupt.write_bytes(b"\x00\x01garbage")
+        with pytest.raises(SystemExit) as err:
+            run_cli(capsys, "snapshot", "info", str(corrupt))
+        assert "cannot read snapshot" in str(err.value)
+
+    def test_snapshot_info_rejects_missing_file(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as err:
+            run_cli(capsys, "snapshot", "info", str(tmp_path / "gone.npz"))
+        assert err.value.code not in (0, None)
+
+    def test_bad_interp_is_an_argparse_error(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            run_cli(capsys, "run", "web_search", "--interp", "quantum")
+        assert err.value.code == 2  # argparse usage error
+
+    def test_bad_cache_engine_is_an_argparse_error(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            run_cli(capsys, "scenario", "run", "idle-cores",
+                    "--engine", "hashmap")
+        assert err.value.code == 2
+
+
+class TestFuzzCli:
+    def test_smoke_run_passes_and_writes_a_summary(self, capsys, tmp_path):
+        summary = tmp_path / "summary.json"
+        status, out = run_cli(capsys, "fuzz", "--budget", "2", "--seed", "0",
+                              "--summary", str(summary),
+                              "--artifacts", str(tmp_path / "artifacts"))
+        assert status == 0
+        assert "0 failure(s)" in out
+        import json
+
+        payload = json.loads(summary.read_text())
+        assert payload["failures"] == []
+        assert payload["generated_examined"] == 2
+
+    def test_corpus_replay_is_included(self, capsys, tmp_path):
+        status, out = run_cli(capsys, "fuzz", "--budget", "0",
+                              "--corpus", "tests/fuzz_corpus",
+                              "--artifacts", str(tmp_path / "artifacts"))
+        assert status == 0
+        assert "corpus" in out
+
+    def test_failure_produces_artifact_and_nonzero_exit(
+            self, capsys, tmp_path, monkeypatch):
+        from repro.cache.flat import FlatSetAssociativeCache
+
+        original = FlatSetAssociativeCache._victim_slot
+
+        def skewed(self, set_index, base):
+            slot = original(self, set_index, base)
+            return base + (slot - base + 1) % self.ways
+
+        monkeypatch.setattr(FlatSetAssociativeCache, "_victim_slot", skewed)
+        artifacts = tmp_path / "artifacts"
+        status, out = run_cli(capsys, "fuzz", "--budget", "4", "--seed", "0",
+                              "--artifacts", str(artifacts),
+                              "--shrink-attempts", "30")
+        assert status == 1
+        saved = list(artifacts.glob("*.json"))
+        assert saved, "a shrunk reproducer artifact must be written"
+
+    def test_missing_corpus_directory_exits(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as err:
+            run_cli(capsys, "fuzz", "--budget", "0",
+                    "--corpus", str(tmp_path / "no-corpus"))
+        assert err.value.code not in (0, None)

@@ -28,6 +28,7 @@ def _run(workload, config, dram_engine, cache_engine=None):
                      dram_engine=dram_engine, cache_engine=cache_engine)
 
 
+@pytest.mark.slow
 class TestWorkloadConfigMatrix:
     @pytest.mark.parametrize("workload", workload_names())
     def test_all_named_configs_bit_identical(self, workload):
@@ -39,6 +40,7 @@ class TestWorkloadConfigMatrix:
                 f"{workload}/{name}: flat and object DRAM engines diverged")
 
 
+@pytest.mark.slow
 class TestScenarioCatalog:
     @pytest.mark.parametrize("scenario_name", scenario_names())
     def test_catalog_scenarios_bit_identical(self, scenario_name):

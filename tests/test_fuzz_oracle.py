@@ -1,0 +1,143 @@
+"""Differential oracle: cells, subsets, skip semantics, fault sensitivity."""
+
+import pytest
+
+from repro.cache.flat import FlatSetAssociativeCache
+from repro.fuzz import CHECKS, materialize, run_oracle
+from repro.fuzz.oracle import REFERENCE_CELL, _perturbed_chunk_size
+
+#: A small hand-written spec covering two tenants, a burst, an idle core and
+#: a warmup split -- every check runs, nothing is slow.
+SPEC = {
+    "format": 1,
+    "label": "oracle-unit",
+    "seed": 7,
+    "warmup_fraction": 0.3,
+    "chunk_size": 128,
+    "scenario": {
+        "num_cores": 4,
+        "phases": [
+            {"name": "p0", "accesses": 800,
+             "bursts": [[0.2, 0.4, 2.0]],
+             "tenants": [
+                 {"workload": "web_search", "cores": [0, 1]},
+                 {"workload": "data_serving", "cores": [2],
+                  "intensity": 1.5},
+             ]},
+        ],
+    },
+    "config": {"base": "bump"},
+}
+
+
+def _skewed_victim(original):
+    """The injected parity fault: rotate the flat cache's victim choice by
+    one way -- a minimal 'stamp bump' that leaves the dict engine alone."""
+    def skewed(self, set_index, base):
+        slot = original(self, set_index, base)
+        return base + (slot - base + 1) % self.ways
+    return skewed
+
+
+class TestHealthyOracle:
+    def test_all_checks_pass_on_a_valid_spec(self):
+        report = run_oracle(SPEC)
+        assert report.ok
+        assert report.failed_checks == []
+        ran = {c.check for c in report.checks if not c.skipped}
+        assert ran == set(CHECKS)
+
+    def test_check_subset_runs_only_that_axis(self):
+        report = run_oracle(SPEC, checks=("chunk",))
+        assert report.ok
+        assert {c.check for c in report.checks} == {"chunk"}
+
+    def test_snapshot_check_skipped_without_warmup(self):
+        spec = dict(SPEC, warmup_fraction=0.0)
+        report = run_oracle(spec, checks=("snapshot",))
+        assert report.ok
+        (check,) = report.checks
+        assert check.skipped
+
+    def test_unknown_check_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown oracle checks"):
+            run_oracle(SPEC, checks=("cube", "vibes"))
+
+    def test_malformed_spec_is_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            run_oracle(dict(SPEC, format=99))
+
+    def test_perturbed_chunk_size_differs(self):
+        for size in (64, 128, 256, 512, 1024, 2048):
+            assert _perturbed_chunk_size(size) != size
+
+    def test_reference_cell_is_the_object_engines(self):
+        assert REFERENCE_CELL == ("dict", "object", "scalar")
+
+
+class TestFaultSensitivity:
+    def test_injected_flat_cache_fault_is_caught(self, monkeypatch):
+        """The oracle exists to see exactly this: a flat-engine divergence
+        the fixed parity matrix might miss on its hand-picked inputs."""
+        monkeypatch.setattr(
+            FlatSetAssociativeCache, "_victim_slot",
+            _skewed_victim(FlatSetAssociativeCache._victim_slot))
+        report = run_oracle(SPEC, checks=("cube",))
+        assert not report.ok
+        # Every flat cell diverges; the dict cells still match the reference.
+        failing = {c.cell for c in report.failures}
+        assert failing == {"flat/object/scalar", "flat/flat/scalar",
+                           "flat/object/vector", "flat/flat/vector"}
+
+    def test_report_describe_names_the_failures(self, monkeypatch):
+        monkeypatch.setattr(
+            FlatSetAssociativeCache, "_victim_slot",
+            _skewed_victim(FlatSetAssociativeCache._victim_slot))
+        report = run_oracle(SPEC, checks=("cube",))
+        text = report.describe()
+        assert "FAIL" in text and "flat/flat/vector" in text
+
+
+class TestMaterialize:
+    def test_round_trips_the_declared_surface(self):
+        case = materialize(SPEC)
+        assert case.scenario.num_cores == 4
+        assert case.total_accesses == 800
+        assert case.warmup_accesses == 240
+        assert case.config.name == "bump"
+        (phase,) = case.scenario.phases
+        assert phase.active_cores == (0, 1, 2)   # core 3 idle
+        assert phase.bursts[0].intensity == 2.0
+
+    def test_overrides_decode_and_validate(self):
+        spec = dict(SPEC)
+        spec["config"] = {"base": "base_open",
+                          "overrides": {"page_policy": "close",
+                                        "interleaving": "block",
+                                        "timing_model": "interval",
+                                        "arrival_cpi": 3.5}}
+        config = materialize(spec).config
+        assert config.page_policy.name == "CLOSE"
+        assert config.interleaving == "block"
+        assert config.timing_model == "interval"
+        assert config.arrival_cpi == 3.5
+
+    def test_unknown_override_is_rejected(self):
+        spec = dict(SPEC)
+        spec["config"] = {"base": "base_open",
+                          "overrides": {"use_bump": True}}
+        with pytest.raises(ValueError, match="unsupported configuration"):
+            materialize(spec)
+
+    def test_unknown_base_config_is_rejected(self):
+        spec = dict(SPEC)
+        spec["config"] = {"base": "warp_drive"}
+        with pytest.raises(ValueError, match="warp_drive"):
+            materialize(spec)
+
+    def test_bad_page_policy_is_rejected(self):
+        spec = dict(SPEC)
+        spec["config"] = {"base": "base_open",
+                          "overrides": {"page_policy": "ajar"}}
+        with pytest.raises(ValueError, match="ajar"):
+            materialize(spec)

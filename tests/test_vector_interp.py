@@ -134,6 +134,7 @@ class TestChunkEdgeCases:
 # --------------------------------------------------------------------- #
 # Bit-identity property tests (vector == scalar)
 # --------------------------------------------------------------------- #
+@pytest.mark.slow
 class TestVectorScalarBitIdentity:
     def test_store_heavy_trace(self):
         trace = _random_trace(6_000, blocks_per_core=48, store_fraction=0.9,
