@@ -14,10 +14,16 @@ Command                Purpose
 ``campaign``           run a (workload x system x seed) grid across worker
                        processes, resumable via the on-disk artifact store
 ``scenario``           list/describe/run the multi-tenant scenario catalog
-                       (``repro scenario list|describe|run``)
+                       (``repro scenario list|describe|run``); ``scenario
+                       run --closed-loop`` drives the run through the
+                       feedback controller of
+                       :mod:`repro.scenario.closed_loop`
 ``experiment``         regenerate one paper figure/table and print its rows
 ``scaling``            print the Section VI storage-scaling tables
-``trace``              generate a workload trace and save it to disk
+``trace``              trace files on disk: ``trace generate`` writes a
+                       workload trace, ``trace ingest`` replays a stored
+                       trace file (e.g. an ``LLCTraceRecorder`` export)
+                       through the simulator
 ``snapshot``           create/inspect/list warm-state snapshots
                        (``repro snapshot create|info|list``); ``run``,
                        ``compare`` and ``scenario run`` reuse them via
@@ -342,6 +348,15 @@ def cmd_scenario_describe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sample_rows(rows: List[List[str]], limit: int = 12) -> List[List[str]]:
+    """Evenly thin a long table, always keeping the first and last row."""
+    if len(rows) <= limit:
+        return rows
+    step = (len(rows) - 1) / (limit - 1)
+    picked = sorted({round(index * step) for index in range(limit)})
+    return [rows[index] for index in picked]
+
+
 def cmd_scenario_run(args: argparse.Namespace) -> int:
     scenario = _resolve_scenario(args.name, args.scale)
     config = _resolve_config(args.system)
@@ -350,6 +365,20 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
     if not 0.0 <= args.warmup < 1.0:
         raise SystemExit("--warmup must be in [0, 1)")
     recorder = _setup_telemetry(args)
+    source = None
+    if args.closed_loop:
+        from repro.scenario.closed_loop import ClosedLoopSource, ClosedLoopSpec
+
+        try:
+            loop_spec = ClosedLoopSpec(target_latency=args.target_latency,
+                                       interval=args.control_interval,
+                                       gain=args.loop_gain,
+                                       min_intensity=args.min_intensity,
+                                       max_intensity=args.max_intensity)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        source = ClosedLoopSource(scenario, loop_spec, seed=args.seed,
+                                  chunk_size=args.chunk_size)
     try:
         result = run_scenario(scenario, config, seed=args.seed,
                               warmup_fraction=args.warmup,
@@ -359,12 +388,24 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
                               interp=args.interp,
                               telemetry=recorder,
                               snapshot=args.snapshot or None,
-                              warmup_snapshot=args.warmup_snapshot)
+                              warmup_snapshot=args.warmup_snapshot,
+                              closed_loop=source)
     except (ValueError, OSError) as exc:
         raise SystemExit(str(exc))
     _print(f"{scenario.name} ({scenario.total_accesses} accesses) "
-           f"under {config.name}")
+           f"under {config.name}"
+           + (" [closed-loop]" if source is not None else ""))
     _print(format_table(_result_rows(result), headers=["metric", "value"]))
+    if source is not None:
+        _print(f"closed loop: target {source.spec.target_latency:.4g} cycles, "
+               f"interval {source.spec.interval}, {source.updates} update(s), "
+               f"final intensity {source.current_intensity:.4g}")
+        rows = [[str(position), f"{intensity:.4g}",
+                 "-" if observed is None else f"{observed:.4g}"]
+                for position, intensity, observed in source.history]
+        _print(format_table(_sample_rows(rows),
+                            headers=["position", "intensity",
+                                     "observed latency"]))
     _finish_telemetry(recorder, args)
     return 0
 
@@ -426,7 +467,7 @@ def cmd_scaling(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_trace(args: argparse.Namespace) -> int:
+def cmd_trace_generate(args: argparse.Namespace) -> int:
     if args.chunk_size < 1:
         raise SystemExit("--chunk-size must be positive")
     trace = generate_trace_buffer(get_workload(args.workload), args.accesses,
@@ -443,6 +484,34 @@ def cmd_trace(args: argparse.Namespace) -> int:
     ]
     _print(f"wrote {len(trace)} accesses to {path}")
     _print(format_table(rows, headers=["metric", "value"]))
+    return 0
+
+
+def cmd_trace_ingest(args: argparse.Namespace) -> int:
+    from repro.trace.source import IngestSource
+
+    config = _resolve_config(args.system)
+    if args.chunk_size < 1:
+        raise SystemExit("--chunk-size must be positive")
+    if not 0.0 <= args.warmup < 1.0:
+        raise SystemExit("--warmup must be in [0, 1)")
+    try:
+        source = IngestSource(args.path, chunk_size=args.chunk_size,
+                              mmap=args.mmap)
+    except (OSError, ValueError, KeyError) as exc:
+        raise SystemExit(f"cannot read trace {args.path!r}: {exc}")
+    try:
+        result = run_trace(source, config,
+                           workload_name=f"ingest:{args.path}",
+                           warmup_fraction=args.warmup,
+                           num_accesses=source.total_accesses,
+                           dram_engine=args.dram_engine,
+                           interp=args.interp)
+    except (ValueError, OSError) as exc:
+        raise SystemExit(str(exc))
+    _print(f"replayed {source.total_accesses} accesses from {args.path} "
+           f"under {config.name}")
+    _print(format_table(_result_rows(result), headers=["metric", "value"]))
     return 0
 
 
@@ -854,6 +923,30 @@ def build_parser() -> argparse.ArgumentParser:
                               help="reuse the warmup through a snapshot store "
                                    "(default directory: $REPRO_SNAPSHOT_DIR "
                                    "or $REPRO_ARTIFACT_DIR)")
+    scenario_run.add_argument("--closed-loop", action="store_true",
+                              help="drive the run through the feedback "
+                                   "controller: per-phase intensity is "
+                                   "rescaled at control-interval boundaries "
+                                   "toward --target-latency (deterministic, "
+                                   "chunk-size invariant)")
+    scenario_run.add_argument("--target-latency", type=float, default=60.0,
+                              metavar="CYCLES",
+                              help="closed-loop mean demand-read latency "
+                                   "target per control interval "
+                                   "(default: 60)")
+    scenario_run.add_argument("--control-interval", type=int, default=4096,
+                              metavar="ACCESSES",
+                              help="closed-loop controller update period "
+                                   "(default: 4096)")
+    scenario_run.add_argument("--loop-gain", type=float, default=0.5,
+                              help="closed-loop proportional gain "
+                                   "(default: 0.5)")
+    scenario_run.add_argument("--min-intensity", type=float, default=0.25,
+                              help="closed-loop intensity floor "
+                                   "(default: 0.25)")
+    scenario_run.add_argument("--max-intensity", type=float, default=4.0,
+                              help="closed-loop intensity ceiling "
+                                   "(default: 4.0)")
     scenario_run.set_defaults(handler=cmd_scenario_run)
 
     experiment = subparsers.add_parser("experiment",
@@ -869,13 +962,44 @@ def build_parser() -> argparse.ArgumentParser:
                                     help="Section VI storage-scaling tables")
     scaling.set_defaults(handler=cmd_scaling)
 
-    trace = subparsers.add_parser("trace", help="generate a trace and save it")
-    _add_trace_arguments(trace, accesses=100_000)
-    trace.add_argument("--output", "-o", required=True,
-                       help="output file (.csv, .txt, .npz or .npy)")
-    trace.add_argument("--chunk-size", type=int, default=65_536,
-                       help="generator chunk granularity (accesses)")
-    trace.set_defaults(handler=cmd_trace)
+    trace = subparsers.add_parser(
+        "trace", help="trace files: generate to disk, ingest and replay")
+    trace_actions = trace.add_subparsers(dest="action", required=True)
+
+    trace_generate = trace_actions.add_parser(
+        "generate", help="generate a workload trace and save it")
+    _add_trace_arguments(trace_generate, accesses=100_000)
+    trace_generate.add_argument("--output", "-o", required=True,
+                                help="output file (.csv, .txt, .npz or .npy)")
+    trace_generate.add_argument("--chunk-size", type=int, default=65_536,
+                                help="generator chunk granularity (accesses)")
+    trace_generate.set_defaults(handler=cmd_trace_generate)
+
+    trace_ingest = trace_actions.add_parser(
+        "ingest",
+        help="replay a stored trace file (trace generate output or an "
+             "LLCTraceRecorder export) through the simulator")
+    trace_ingest.add_argument("path",
+                              help="trace file (.csv, .txt, .npz or .npy)")
+    trace_ingest.add_argument("--system", default="bump",
+                              help="system configuration name")
+    trace_ingest.add_argument("--warmup", type=float, default=0.0,
+                              help="fraction of the trace used for warmup "
+                                   "(default: 0, captured streams are "
+                                   "usually post-warm)")
+    trace_ingest.add_argument("--chunk-size", type=int, default=65_536,
+                              help="replay chunk granularity (accesses)")
+    trace_ingest.add_argument("--mmap", action="store_true",
+                              help="memory-map .npy traces instead of "
+                                   "loading them")
+    trace_ingest.add_argument("--dram-engine", choices=["flat", "object"],
+                              default=None,
+                              help="DRAM engine (default: REPRO_DRAM_ENGINE "
+                                   "or flat; results are bit-identical)")
+    trace_ingest.add_argument("--interp", choices=list(INTERPS), default=None,
+                              help="batch interpreter (default: REPRO_INTERP "
+                                   "or vector; results are bit-identical)")
+    trace_ingest.set_defaults(handler=cmd_trace_ingest)
 
     snapshot = subparsers.add_parser(
         "snapshot",

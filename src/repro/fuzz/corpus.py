@@ -35,6 +35,13 @@ Schema (``format`` 1)::
           "timing_model": "interval",
           "arrival_cpi": 2.5
         }
+      },
+      "closed_loop": {                  # optional: feedback-driven traffic
+        "target_latency": 120.0,        # (repro.scenario.closed_loop)
+        "interval": 128,
+        "gain": 0.5,
+        "min_intensity": 0.25,
+        "max_intensity": 4.0
       }
     }
 
@@ -49,10 +56,11 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.common.fingerprint import fingerprint
 from repro.dram.controller import PagePolicy
+from repro.scenario.closed_loop import ClosedLoopSpec, as_closed_loop_spec
 from repro.scenario.spec import Burst, Phase, Scenario, TenantAssignment
 from repro.sim.config import SystemConfig, extended_configs, named_configs
 
@@ -101,6 +109,9 @@ class FuzzCase:
     seed: int
     warmup_fraction: float
     chunk_size: int
+    #: When set, the oracle drives every cell through the feedback-driven
+    #: :class:`~repro.scenario.closed_loop.ClosedLoopSource`.
+    closed_loop: Optional[ClosedLoopSpec] = None
 
     @property
     def total_accesses(self) -> int:
@@ -191,6 +202,10 @@ def materialize(spec: Dict) -> FuzzCase:
     chunk_size = int(spec.get("chunk_size", 512))
     if chunk_size < 1:
         raise ValueError("chunk_size must be positive")
+    try:
+        closed_loop = as_closed_loop_spec(spec.get("closed_loop"))
+    except TypeError as exc:
+        raise ValueError(str(exc))
     return FuzzCase(
         label=label,
         scenario=scenario,
@@ -198,6 +213,7 @@ def materialize(spec: Dict) -> FuzzCase:
         seed=int(spec.get("seed", 42)),
         warmup_fraction=warmup_fraction,
         chunk_size=chunk_size,
+        closed_loop=closed_loop,
     )
 
 

@@ -5,8 +5,9 @@ configuration layer expose -- multi-tenant core partitions with idle cores,
 1-3 phases with independent tenant layouts, per-phase and per-tenant
 intensity scaling, stacked burst windows, every named system configuration
 (paper and extended sets) with page-policy / interleaving / timing-model /
-arrival-CPI overrides, randomized warmup fractions and streaming chunk
-sizes -- while staying inside the validated envelope: every sample
+arrival-CPI overrides, randomized warmup fractions, streaming chunk sizes
+and (on about a third of samples) closed-loop feedback-controller
+parameters -- while staying inside the validated envelope: every sample
 materializes without error and simulates in well under a second, so a
 200-sample differential sweep fits a CI smoke budget.
 
@@ -91,6 +92,24 @@ def _sample_bursts(rng: random.Random) -> List[List[float]]:
     return bursts
 
 
+def _sample_closed_loop(rng: random.Random) -> Dict:
+    """Random valid closed-loop controller parameters.
+
+    Intervals are small relative to the phase budget so several control
+    decisions land inside every run; the latency target spans from easily
+    met to unreachable (a saturated small-scale system observes thousands of
+    cycles), so samples cover intensity ramp-up, ramp-down and clamping.
+    """
+    low = round(rng.uniform(0.2, 0.6), 3)
+    return {
+        "target_latency": round(rng.uniform(20.0, 4000.0), 1),
+        "interval": rng.choice((96, 128, 160, 224, 320)),
+        "gain": round(rng.uniform(0.1, 0.9), 3),
+        "min_intensity": low,
+        "max_intensity": round(rng.uniform(1.5, 4.0), 3),
+    }
+
+
 def _sample_config(rng: random.Random) -> Dict:
     names = sorted(set(named_configs()) | set(extended_configs()))
     config: Dict = {"base": rng.choice(names)}
@@ -136,7 +155,7 @@ def generate_spec(seed: int, index: int) -> Dict:
     # snapshot boundary the oracle splits at), occasionally none at all.
     warmup_fraction = 0.0 if rng.random() < 0.15 \
         else round(rng.uniform(0.1, 0.6), 3)
-    return {
+    spec = {
         "format": SPEC_FORMAT_VERSION,
         "label": f"fuzz-{seed}-{index}",
         "seed": rng.randrange(2 ** 31),
@@ -148,6 +167,12 @@ def generate_spec(seed: int, index: int) -> Dict:
         },
         "config": _sample_config(rng),
     }
+    # A third of the stream drives the run through the feedback controller,
+    # so the closed-loop path gets the same differential scrutiny (cube,
+    # chunk-size, telemetry, snapshot resume) as the open-loop engine.
+    if rng.random() < 0.35:
+        spec["closed_loop"] = _sample_closed_loop(rng)
+    return spec
 
 
 def iter_specs(seed: int, count: int, start: int = 0) -> Iterator[Dict]:

@@ -24,6 +24,13 @@ Checks (each independently selectable; ``CHECKS`` lists them all):
     system and measure the tail -- bit-identical to never having stopped.
     Skipped (reported, not run) when the spec has no warmup interval.
 
+Specs with a ``closed_loop`` block run every cell through the
+feedback-driven :class:`~repro.scenario.closed_loop.ClosedLoopSource`: the
+cube check then additionally reruns the reference cell verbatim (asserting
+run-to-run determinism of the feedback path), and the snapshot check
+checkpoints/restores the source's controller state alongside the simulator
+arrays.
+
 Every simulation in a check replays the identical deterministic chunk
 stream, so a mismatch is always an engine bug (or an injected fault), never
 workload noise.
@@ -125,7 +132,7 @@ def _run_cell(case: FuzzCase, cache: str, dram: str, interp: str,
         warmup_fraction=case.warmup_fraction,
         chunk_size=chunk_size if chunk_size is not None else case.chunk_size,
         cache_engine=cache, dram_engine=dram, interp=interp,
-        telemetry=telemetry)
+        telemetry=telemetry, closed_loop=case.closed_loop)
     return result_fingerprint(result)
 
 
@@ -133,8 +140,18 @@ def _snapshot_fingerprint_for(case: FuzzCase, workdir: Optional[Path]) -> str:
     """Capture at the warmup boundary, file round-trip, restore, measure."""
     system = ServerSystem(case.config, workload_name=case.scenario.name,
                           cache_engine="flat", dram_engine="flat")
-    chunks = iter_scenario_chunks(case.scenario, seed=case.seed,
-                                  chunk_size=case.chunk_size)
+    if case.closed_loop is not None:
+        # Closed-loop capture: the source's controller state rides inside
+        # the snapshot, and the replay rebuilds a fresh source to restore
+        # into -- proving the checkpoint carries everything production
+        # needs, not just simulator state.
+        from repro.scenario.closed_loop import ClosedLoopSource
+
+        chunks = ClosedLoopSource(case.scenario, case.closed_loop,
+                                  seed=case.seed, chunk_size=case.chunk_size)
+    else:
+        chunks = iter_scenario_chunks(case.scenario, seed=case.seed,
+                                      chunk_size=case.chunk_size)
     snapshot, _, _ = capture_warmup(system, chunks, case.warmup_accesses)
     if workdir is None:
         with tempfile.TemporaryDirectory(prefix="repro-fuzz-") as tmp:
@@ -147,7 +164,8 @@ def _snapshot_fingerprint_for(case: FuzzCase, workdir: Optional[Path]) -> str:
         snapshot = load_snapshot(path)
     result = run_scenario(case.scenario, case.config, seed=case.seed,
                           warmup_fraction=case.warmup_fraction,
-                          chunk_size=case.chunk_size, snapshot=snapshot)
+                          chunk_size=case.chunk_size, snapshot=snapshot,
+                          closed_loop=case.closed_loop)
     return result_fingerprint(result)
 
 
@@ -178,6 +196,14 @@ def run_oracle(spec: Dict, checks: Optional[Sequence[str]] = None,
     report = OracleReport(label=case.label, reference_fingerprint=reference)
 
     if "cube" in selected:
+        if case.closed_loop is not None:
+            # Closed-loop production feeds simulator observations back into
+            # the stream, so assert run-to-run determinism explicitly: an
+            # exact rerun of the reference cell must reproduce it.
+            matches = _run_cell(case, *REFERENCE_CELL) == reference
+            report.checks.append(
+                CheckResult("cube", "repeat:" + "/".join(REFERENCE_CELL),
+                            matches))
         for cache, dram, interp in _CUBE_CELLS:
             cell = f"{cache}/{dram}/{interp}"
             matches = _run_cell(case, cache, dram, interp) == reference

@@ -1,0 +1,346 @@
+"""Closed-loop traffic: a scenario whose intensity reacts to service latency.
+
+The catalog's scenarios are open-loop -- the compiler pre-decides every
+access, so a saturated memory system is simply hammered harder.  Real server
+traffic is closed-loop: when latency rises, admission throttles; when the
+system has headroom, intensity ramps back up.  :class:`ClosedLoopSource`
+implements that regime on top of the scenario compiler through the
+:class:`~repro.trace.source.TraceSource` protocol: it pulls the compiled
+base stream and *rescales the instruction (arrival-spacing) column* with a
+multiplicative intensity controller driven by the simulator's
+:class:`~repro.trace.source.FeedbackSample`.
+
+Determinism and invariance (both oracle-checked by ``repro.fuzz``):
+
+* The feedback signal is itself deterministic (the simulator is), so a
+  closed-loop run is a pure function of ``(scenario, spec, seed, config)``.
+* Controller updates happen only at fixed *control boundaries* -- every
+  ``spec.interval`` accesses of source position -- and emitted chunks are
+  clamped so they never straddle a boundary.  Because simulator state at
+  access *N* is chunk-size invariant and the run loop services chunk *k*
+  fully before pulling *k+1*, the feedback observed at each boundary (and
+  hence the whole intensity trajectory) is identical for every chunk size
+  and engine cell.
+
+The controller differences cumulative feedback against its own last-boundary
+snapshot, so the measurement reset at the warmup boundary (which zeroes the
+memory counters mid-run) shows up as a non-positive delta exactly once --
+the controller holds its intensity for that interval, identically in every
+run of the same configuration.
+
+Snapshot integration: :meth:`ClosedLoopSource.checkpoint_state` /
+:meth:`restore_state` round-trip the controller state (and the
+emitted-but-unserviced tail of a warmup-split chunk) through
+:class:`~repro.sim.snapshot.SystemSnapshot`, so restoring mid-run reproduces
+an uninterrupted closed-loop run exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.fingerprint import canonical_data, fingerprint
+from repro.scenario.compiler import iter_scenario_chunks
+from repro.scenario.spec import Scenario
+from repro.trace.buffer import (
+    DEFAULT_CHUNK_SIZE,
+    TRACE_DTYPES,
+    TRACE_FIELDS,
+    TraceBuffer,
+)
+from repro.trace.source import FeedbackSample
+
+__all__ = [
+    "ClosedLoopSource",
+    "ClosedLoopSpec",
+    "as_closed_loop_spec",
+]
+
+
+@dataclass(frozen=True)
+class ClosedLoopSpec:
+    """Controller parameters of one closed-loop run.
+
+    The controller targets a mean demand-read latency: at every control
+    boundary it computes the per-interval observed latency from the feedback
+    deltas and scales intensity multiplicatively by ``1 + gain * error``
+    (relative error against ``target_latency``), clamped to
+    ``[min_intensity, max_intensity]``.  Intensity divides the per-access
+    instruction spacing exactly like scenario/tenant intensity does in the
+    compiler: >1 means denser arrivals, <1 means throttled.
+    """
+
+    #: Mean demand-read latency the controller steers toward (bus cycles).
+    target_latency: float = 60.0
+    #: Control-boundary spacing in trace accesses.
+    interval: int = 4096
+    #: Multiplicative proportional gain per update.
+    gain: float = 0.5
+    #: Intensity clamp (both inclusive).
+    min_intensity: float = 0.25
+    max_intensity: float = 4.0
+    #: Intensity before the first update.
+    initial_intensity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.target_latency <= 0:
+            raise ValueError("target_latency must be positive")
+        if self.interval < 1:
+            raise ValueError("interval must be a positive access count")
+        if self.gain <= 0:
+            raise ValueError("gain must be positive")
+        if not 0 < self.min_intensity <= self.max_intensity:
+            raise ValueError(
+                "intensity bounds need 0 < min_intensity <= max_intensity")
+        if not self.min_intensity <= self.initial_intensity <= self.max_intensity:
+            raise ValueError("initial_intensity must lie within the clamp")
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-able form (fuzz specs, CLI round-trips)."""
+        return {
+            "target_latency": self.target_latency,
+            "interval": self.interval,
+            "gain": self.gain,
+            "min_intensity": self.min_intensity,
+            "max_intensity": self.max_intensity,
+            "initial_intensity": self.initial_intensity,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ClosedLoopSpec":
+        unknown = set(data) - {
+            "target_latency", "interval", "gain",
+            "min_intensity", "max_intensity", "initial_intensity",
+        }
+        if unknown:
+            raise ValueError(
+                f"unsupported closed-loop parameters {sorted(unknown)}")
+        kwargs = {key: (int(value) if key == "interval" else float(value))
+                  for key, value in data.items()}
+        return cls(**kwargs)
+
+
+def as_closed_loop_spec(value) -> Optional[ClosedLoopSpec]:
+    """Coerce ``None`` / dict / :class:`ClosedLoopSpec` to a spec."""
+    if value is None or isinstance(value, ClosedLoopSpec):
+        return value
+    if isinstance(value, dict):
+        return ClosedLoopSpec.from_dict(value)
+    raise TypeError(
+        f"closed_loop must be a ClosedLoopSpec or parameter dict, "
+        f"got {type(value).__name__}")
+
+
+class ClosedLoopSource:
+    """The scenario compiler wrapped in a latency-tracking intensity loop.
+
+    A :class:`~repro.trace.source.TraceSource`: the run loop assembles a
+    feedback sample before every pull, the source updates its controller at
+    control boundaries and emits the base stream with its ``instructions``
+    column rescaled by the current intensity.
+    """
+
+    wants_feedback = True
+
+    def __init__(self, scenario: Scenario, spec: Optional[ClosedLoopSpec] = None,
+                 seed: int = 42, chunk_size: int = DEFAULT_CHUNK_SIZE):
+        self.scenario = scenario
+        self.spec = ClosedLoopSpec() if spec is None else as_closed_loop_spec(spec)
+        self.seed = int(seed)
+        self.chunk_size = int(chunk_size)
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        self._base = iter_scenario_chunks(scenario, seed=self.seed,
+                                          chunk_size=self.chunk_size)
+        #: Unemitted tail of the current base chunk.
+        self._pending: Optional[TraceBuffer] = None
+        #: A restored warmup-split tail to re-emit verbatim (already counted
+        #: in ``_position``; bypasses the controller).
+        self._replay: Optional[TraceBuffer] = None
+        self._position = 0
+        self._intensity = float(self.spec.initial_intensity)
+        self._last_reads = 0
+        self._last_latency = 0.0
+        self._updates = 0
+        #: ``(position, intensity, observed_latency)`` after every applied
+        #: update, seeded with the initial point.
+        self._history: List[Tuple[int, float, Optional[float]]] = [
+            (0, self._intensity, None)]
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def total_accesses(self) -> int:
+        return self.scenario.total_accesses
+
+    @property
+    def current_intensity(self) -> float:
+        return self._intensity
+
+    @property
+    def updates(self) -> int:
+        """Controller updates actually applied (held intervals excluded)."""
+        return self._updates
+
+    @property
+    def history(self) -> List[Tuple[int, float, Optional[float]]]:
+        """The intensity trajectory: ``(position, intensity, observed)``."""
+        return list(self._history)
+
+    # ------------------------------------------------------------------ #
+    # TraceSource protocol
+    # ------------------------------------------------------------------ #
+    def next_chunk(self, feedback: Optional[FeedbackSample]):
+        if self._replay is not None:
+            chunk, self._replay = self._replay, None
+            return chunk
+        spec = self.spec
+        if (feedback is not None and self._position
+                and self._position % spec.interval == 0):
+            self._update(feedback)
+        # Never emit across a control boundary: the next update must see
+        # feedback for exactly the accesses up to the boundary, whatever the
+        # streaming chunk size is.
+        boundary = spec.interval - (self._position % spec.interval)
+        base = self._take_base(min(self.chunk_size, boundary))
+        if base is None:
+            return None
+        chunk = self._scaled(base)
+        self._position += len(chunk)
+        return chunk
+
+    def __iter__(self):
+        """Drain open-loop (no feedback -> no updates); mainly for tooling."""
+        while True:
+            chunk = self.next_chunk(None)
+            if chunk is None:
+                return
+            yield chunk
+
+    def _take_base(self, take: int) -> Optional[TraceBuffer]:
+        """Up to ``take`` rows of the base stream (``None`` when exhausted)."""
+        parts = []
+        have = 0
+        pending = self._pending
+        self._pending = None
+        while have < take:
+            if pending is None:
+                pending = next(self._base, None)
+                if pending is None:
+                    break
+                if not len(pending):
+                    pending = None
+                    continue
+            rows = min(take - have, len(pending))
+            parts.append(pending if rows == len(pending) else pending[:rows])
+            have += rows
+            pending = pending[rows:] if rows < len(pending) else None
+        self._pending = pending
+        if not parts:
+            return None
+        return parts[0] if len(parts) == 1 else TraceBuffer.concat(parts)
+
+    def _scaled(self, chunk: TraceBuffer) -> TraceBuffer:
+        """Rescale arrival spacing by the current intensity.
+
+        Identical arithmetic to the compiler's phase/tenant intensity
+        scaling: instruction counts divide by the multiplier, rounded,
+        floored at one instruction per access.
+        """
+        intensity = self._intensity
+        if intensity == 1.0:
+            return chunk
+        instructions = np.maximum(
+            1, np.rint(chunk.instructions / intensity)
+        ).astype(TRACE_DTYPES["instructions"])
+        return TraceBuffer(chunk.core, chunk.pc, chunk.address,
+                           chunk.is_store, instructions)
+
+    def _update(self, feedback: FeedbackSample) -> None:
+        """One controller step from the feedback delta since last boundary."""
+        reads = feedback.demand_reads
+        latency = feedback.read_latency_cycles
+        delta_reads = reads - self._last_reads
+        delta_latency = latency - self._last_latency
+        self._last_reads = reads
+        self._last_latency = latency
+        if delta_reads <= 0 or delta_latency < 0:
+            # No reads this interval, or the warmup-boundary counter reset
+            # made the delta meaningless: hold (deterministically).
+            return
+        observed = delta_latency / delta_reads
+        spec = self.spec
+        error = (spec.target_latency - observed) / spec.target_latency
+        raw = self._intensity * (1.0 + spec.gain * error)
+        self._intensity = min(max(raw, spec.min_intensity), spec.max_intensity)
+        self._updates += 1
+        self._history.append((self._position, self._intensity, observed))
+
+    # ------------------------------------------------------------------ #
+    # Snapshot integration
+    # ------------------------------------------------------------------ #
+    def config_fingerprint(self) -> str:
+        """Digest of everything that fixes this source's behaviour.
+
+        ``chunk_size`` is deliberately excluded: the emitted access stream
+        is chunk-size invariant, so a snapshot restores into a source of any
+        chunk size.
+        """
+        return fingerprint({
+            "kind": "closed-loop-source",
+            "scenario": canonical_data(self.scenario),
+            "spec": self.spec.to_dict(),
+            "seed": self.seed,
+        })
+
+    def checkpoint_state(self, leftover: Optional[TraceBuffer] = None) -> Dict:
+        """Controller state (plus an unserviced emitted tail) for a snapshot."""
+        state = {
+            "fingerprint": self.config_fingerprint(),
+            "position": self._position,
+            "intensity": self._intensity,
+            "last_reads": self._last_reads,
+            "last_latency": self._last_latency,
+            "updates": self._updates,
+            "history": [tuple(entry) for entry in self._history],
+        }
+        if leftover is not None and len(leftover):
+            state["leftover"] = {
+                name: np.array(getattr(leftover, name))
+                for name in TRACE_FIELDS
+            }
+        return state
+
+    def restore_state(self, state: Dict) -> None:
+        """Reposition this source to a checkpointed production state."""
+        if state.get("fingerprint") != self.config_fingerprint():
+            raise ValueError(
+                "snapshot trace-source state belongs to a different "
+                "closed-loop run (scenario, controller spec or seed differ)")
+        self._position = int(state["position"])
+        self._intensity = float(state["intensity"])
+        self._last_reads = int(state["last_reads"])
+        self._last_latency = float(state["last_latency"])
+        self._updates = int(state["updates"])
+        self._history = [tuple(entry) for entry in state["history"]]
+        leftover = state.get("leftover")
+        self._replay = (TraceBuffer(*(leftover[name] for name in TRACE_FIELDS))
+                        if leftover else None)
+        self._pending = None
+        # The base stream is position-deterministic: fast-forward a fresh
+        # compile to the checkpoint position instead of storing base rows.
+        from repro.sim.snapshot import skip_accesses
+
+        self._base = skip_accesses(
+            iter_scenario_chunks(self.scenario, seed=self.seed,
+                                 chunk_size=self.chunk_size),
+            self._position)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ClosedLoopSource({self.scenario.name!r}, "
+                f"position={self._position}, intensity={self._intensity:.3f}, "
+                f"updates={self._updates})")

@@ -41,6 +41,7 @@ from repro.telemetry.metrics import (
     record_snapshot_restore,
 )
 from repro.trace.buffer import DEFAULT_CHUNK_SIZE, TraceBuffer, as_chunk_iterator
+from repro.trace.source import resume_source
 from repro.workloads.catalog import get_workload
 from repro.workloads.generator import generate_trace_buffer, iter_trace_chunks
 from repro.workloads.spec import WorkloadSpec
@@ -278,7 +279,24 @@ def _run_from_snapshot(snap: SystemSnapshot, trace: TraceLike,
             "snapshot was captured under a different system configuration")
     system = restore(snap, telemetry=telemetry, interp=interp)
     record_snapshot_restore(snap.nbytes)
-    tail = skip_accesses(_as_stream(trace), snap.processed)
+    stream = _as_stream(trace)
+    restore_state = getattr(stream, "restore_state", None)
+    if restore_state is not None:
+        # A feedback-driven source replays from its checkpointed production
+        # state (controller values + the unserviced warmup-split tail)
+        # instead of skipping a position-deterministic prefix.
+        if snap.source_state is None:
+            raise ValueError(
+                "snapshot carries no trace-source state: it was not captured "
+                "from a feedback-driven (closed-loop) source")
+        restore_state(snap.source_state)
+        tail = stream
+    else:
+        if snap.source_state is not None:
+            raise ValueError(
+                "snapshot carries trace-source state: replay it with the "
+                "matching closed-loop source, not an open-loop trace")
+        tail = skip_accesses(stream, snap.processed)
     return system.run(tail, warmup_accesses=0)
 
 
@@ -326,18 +344,11 @@ def _run_with_warmup_store(trace: TraceLike, config: SystemConfig,
     system = ServerSystem(config, workload_name=workload_name,
                           cache_engine=cache_engine, dram_engine=dram_engine,
                           interp=interp, telemetry=telemetry)
-    snap, leftover, chunk_iter = capture_warmup(system, _as_stream(trace),
-                                                warmup)
+    snap, leftover, source = capture_warmup(system, _as_stream(trace),
+                                            warmup)
     store.put_snapshot(snapshot_key, snap)
     record_snapshot_capture(snap.nbytes)
-
-    def tail():
-        if leftover is not None and len(leftover):
-            yield leftover
-        for chunk in chunk_iter:
-            yield chunk
-
-    return system.run(tail(), warmup_accesses=0)
+    return system.run(resume_source(leftover, source), warmup_accesses=0)
 
 
 def _trace_length(trace: TraceLike) -> Optional[int]:
@@ -401,7 +412,8 @@ def run_workload_streaming(workload: Union[str, WorkloadSpec], config: SystemCon
                            interp: Optional[str] = None,
                            telemetry=None,
                            snapshot=None,
-                           warmup_snapshot=None) -> SimulationResult:
+                           warmup_snapshot=None,
+                           closed_loop=None) -> SimulationResult:
     """Run one workload at bounded memory: generator chunks feed the simulator.
 
     The trace is never materialized (neither as objects nor as one large
@@ -418,6 +430,12 @@ def run_workload_streaming(workload: Union[str, WorkloadSpec], config: SystemCon
     stay streaming: a snapshot hit skips the warmup prefix without
     generating it access by access (the generators are cheap; the simulator
     is not).
+
+    ``closed_loop`` (a :class:`repro.scenario.closed_loop.ClosedLoopSpec`
+    or parameter dict) turns a *scenario* run closed-loop -- see
+    :func:`repro.scenario.runner.run_scenario`.  Plain workloads have no
+    phase structure for the controller to rescale, so the knob is rejected
+    for them.
     """
     if hasattr(workload, "phases") and hasattr(workload, "total_accesses"):
         # Lazy import: repro.scenario layers above repro.sim.
@@ -428,7 +446,12 @@ def run_workload_streaming(workload: Union[str, WorkloadSpec], config: SystemCon
                             chunk_size=chunk_size, cache_engine=cache_engine,
                             dram_engine=dram_engine, interp=interp,
                             telemetry=telemetry, snapshot=snapshot,
-                            warmup_snapshot=warmup_snapshot)
+                            warmup_snapshot=warmup_snapshot,
+                            closed_loop=closed_loop)
+    if closed_loop is not None:
+        raise ValueError(
+            "closed_loop applies to scenario runs only; pass a Scenario "
+            "(see repro.scenario.closed_loop)")
     spec = get_workload(workload) if isinstance(workload, str) else workload
     chunks = iter_trace_chunks(spec, num_accesses, num_cores=num_cores,
                                seed=seed, chunk_size=chunk_size)

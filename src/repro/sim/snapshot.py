@@ -134,6 +134,12 @@ class SystemSnapshot:
     config_key: str
     arrays: Dict[str, np.ndarray] = field(default_factory=dict)
     state_blob: bytes = b""
+    #: Checkpointed trace-*source* state (closed-loop controller position,
+    #: intensity, history and any unserviced warmup-split tail), captured
+    #: when the producing source exposes ``checkpoint_state``.  ``None`` for
+    #: open-loop sources and pre-existing snapshot files -- the member is
+    #: optional in the container, so the format version is unchanged.
+    source_state: Optional[Dict] = None
 
     @property
     def nbytes(self) -> int:
@@ -190,7 +196,8 @@ def snapshot_fingerprint(workload, config, warmup_accesses: int,
                          num_cores: Optional[int] = None,
                          seed: Optional[int] = None,
                          cache_engine: Optional[str] = None,
-                         dram_engine: Optional[str] = None) -> str:
+                         dram_engine: Optional[str] = None,
+                         closed_loop=None) -> str:
     """Content address of the warm state a (spec, config, warmup) run produces.
 
     The trace *prefix* generated for a (workload spec, cores, seed) triple is
@@ -199,9 +206,14 @@ def snapshot_fingerprint(workload, config, warmup_accesses: int,
     the total access count: a 60k-access query and a 240k-access query with
     the same 30k-access warmup share one snapshot.  Scenarios carry their
     core count in the spec, so ``num_cores`` may be ``None`` for them.
+
+    ``closed_loop`` (a :class:`repro.scenario.closed_loop.ClosedLoopSpec`)
+    enters the digest only when set, so every pre-existing open-loop
+    fingerprint -- and every snapshot already in an artifact store -- stays
+    stable.
     """
     engines = resolved_engines(config, cache_engine, dram_engine)
-    return fingerprint({
+    data = {
         "kind": "snapshot",
         "version": _package_version(),
         "workload": canonical_data(workload),
@@ -211,7 +223,10 @@ def snapshot_fingerprint(workload, config, warmup_accesses: int,
         "seed": seed,
         "cache_engine": engines[0],
         "dram_engine": engines[1],
-    })
+    }
+    if closed_loop is not None:
+        data["closed_loop"] = canonical_data(closed_loop)
+    return fingerprint(data)
 
 
 # --------------------------------------------------------------------- #
@@ -234,7 +249,8 @@ def _flush_pending(system: ServerSystem) -> None:
         system._llc_array.stats
 
 
-def capture(system: ServerSystem, processed: int) -> SystemSnapshot:
+def capture(system: ServerSystem, processed: int,
+            source_state: Optional[Dict] = None) -> SystemSnapshot:
     """Freeze ``system`` at a chunk boundary into a :class:`SystemSnapshot`.
 
     Must be called at a chunk boundary (the staged DRAM batch is flushed
@@ -244,6 +260,8 @@ def capture(system: ServerSystem, processed: int) -> SystemSnapshot:
 
     ``processed`` records how many trace accesses the system has consumed;
     restore paths skip exactly that many before continuing.
+    ``source_state`` carries a feedback-driven trace source's checkpoint
+    (see :class:`SystemSnapshot.source_state`).
 
     Systems carrying agents beyond what their configuration builds
     (``run_trace``'s ``extra_agents``) are refused: those agents are not
@@ -300,6 +318,7 @@ def capture(system: ServerSystem, processed: int) -> SystemSnapshot:
         config_key=config_key(system.config),
         arrays=arrays,
         state_blob=blob,
+        source_state=source_state,
     )
 
 
@@ -434,24 +453,40 @@ def _load_flat_cache(cache, saved: Dict[str, object]) -> None:
 def capture_warmup(system: ServerSystem, trace, warmup_accesses: int):
     """Run ``trace``'s warmup interval on ``system`` and capture at the boundary.
 
-    Returns ``(snapshot, leftover, chunk_iter)``: the captured warm state,
-    the unconsumed tail of the chunk the boundary fell inside (``None`` when
-    the boundary coincided with a chunk edge), and the live chunk iterator
-    positioned after that chunk.  The caller measures by running ``leftover``
-    (if any) plus the remaining chunks with ``warmup_accesses=0`` -- chunk
-    boundaries are architecturally invisible, so this is bit-identical to the
-    uninterrupted warmup-split run.
+    ``trace`` may be anything :meth:`ServerSystem.run` accepts, including a
+    feedback-driven :class:`~repro.trace.source.TraceSource` -- the pull
+    loop assembles the same :class:`~repro.trace.source.FeedbackSample`\\ s
+    the run loop would, so the production trajectory is identical to an
+    uninterrupted run.  Sources exposing ``checkpoint_state`` have their
+    production state (controller values and the unserviced tail of the
+    split chunk) captured into :attr:`SystemSnapshot.source_state`.
+
+    Returns ``(snapshot, leftover, source)``: the captured warm state, the
+    unconsumed tail of the chunk the boundary fell inside (``None`` when the
+    boundary coincided with a chunk edge), and the live trace source
+    positioned after that chunk.  The caller measures by running
+    ``repro.trace.source.resume_source(leftover, source)`` with
+    ``warmup_accesses=0`` -- chunk boundaries are architecturally invisible,
+    so this is bit-identical to the uninterrupted warmup-split run.
 
     The warmup interval itself runs unrecorded (``_run_chunk`` directly):
     telemetry of a warmup that later queries skip entirely would be
     misleading, and telemetry never affects results.
     """
+    from repro.trace.source import as_trace_source
+
     if warmup_accesses <= 0:
         raise ValueError("capture_warmup requires a positive warmup interval")
     system._refresh_agent_hooks()
-    chunk_iter = iter(as_chunk_iterator(trace))
+    source = as_trace_source(trace)
+    wants_feedback = bool(getattr(source, "wants_feedback", False))
     processed = 0
-    for chunk in chunk_iter:
+    while True:
+        feedback = system.feedback_sample(processed) if wants_feedback else None
+        chunk = source.next_chunk(feedback)
+        if chunk is None:
+            raise ValueError(
+                "trace shorter than the requested warmup interval")
         n = len(chunk)
         if not n:
             continue
@@ -459,12 +494,15 @@ def capture_warmup(system: ServerSystem, trace, warmup_accesses: int):
             split = warmup_accesses - processed
             system._run_chunk(chunk if split == n else chunk[:split])
             system.begin_measurement()
-            snapshot = capture(system, processed=warmup_accesses)
             leftover = chunk[split:] if split < n else None
-            return snapshot, leftover, chunk_iter
+            checkpoint = getattr(source, "checkpoint_state", None)
+            source_state = (checkpoint(leftover=leftover)
+                            if checkpoint is not None else None)
+            snapshot = capture(system, processed=warmup_accesses,
+                               source_state=source_state)
+            return snapshot, leftover, source
         system._run_chunk(chunk)
         processed += n
-    raise ValueError("trace shorter than the requested warmup interval")
 
 
 def skip_accesses(chunks, n: int) -> Iterator:
@@ -512,6 +550,13 @@ def save_snapshot(snapshot: SystemSnapshot, path) -> None:
                               dtype=np.uint8),
         "state": np.frombuffer(snapshot.state_blob, dtype=np.uint8),
     }
+    if snapshot.source_state is not None:
+        # Optional member: absent for open-loop snapshots, ignored by older
+        # readers (load only consults meta/state/array_* plus this name).
+        members["source"] = np.frombuffer(
+            pickle.dumps(snapshot.source_state,
+                         protocol=pickle.HIGHEST_PROTOCOL),
+            dtype=np.uint8)
     for name, array in snapshot.arrays.items():
         members[_ARRAY_PREFIX + name] = array
     # An explicit file object stops np.savez appending a second ``.npz``
@@ -537,6 +582,8 @@ def load_snapshot(path) -> SystemSnapshot:
             arrays = {name[len(_ARRAY_PREFIX):]: data[name]
                       for name in data.files if name.startswith(_ARRAY_PREFIX)}
             blob = data["state"].tobytes()
+            source_state = (pickle.loads(data["source"].tobytes())
+                            if "source" in data.files else None)
     except (ValueError, zipfile.BadZipFile, KeyError,
             json.JSONDecodeError) as exc:
         raise ValueError(f"corrupt snapshot container {path}: {exc}")
@@ -555,4 +602,5 @@ def load_snapshot(path) -> SystemSnapshot:
         config_key=meta["config_key"],
         arrays=arrays,
         state_blob=blob,
+        source_state=source_state,
     )

@@ -60,7 +60,7 @@ from repro.sim.interp import resolve_interp
 from repro.sim.results import SimulationResult
 from repro.sim.timing import TimingModel
 from repro.telemetry.recorder import resolve_telemetry
-from repro.trace.buffer import TraceBuffer, as_chunk_iterator
+from repro.trace.buffer import TraceBuffer
 from repro.workloads.density import RegionDensityProfiler
 
 
@@ -115,6 +115,11 @@ _VECTOR_ESCAPE_FALLBACK_DENOMINATOR = 8
 #: the classification of a whole 64K-row chunk.  Large enough that the
 #: fixed cost of the ~20 NumPy calls per sub-batch amortizes to noise.
 _VECTOR_SUBBATCH = 8192
+
+
+def _source_intensity(source) -> float:
+    """Current admission intensity a source reports (1.0 when open-loop)."""
+    return float(getattr(source, "current_intensity", 1.0))
 
 
 class ServerSystem:
@@ -328,10 +333,18 @@ class ServerSystem:
         ``trace`` may be a :class:`repro.trace.buffer.TraceBuffer`, an
         iterable of :class:`TraceBuffer` chunks (the streaming pipeline), a
         sequence/iterator of boxed :class:`Access` records (the legacy
-        shape), or a :class:`repro.scenario.spec.Scenario` (compiled to a
-        chunk stream on the fly, at the compiler's default seed).  Every
-        shape is interpreted through the same columnar row loop, so the
-        result is identical regardless of how the trace arrives.
+        shape), a :class:`repro.scenario.spec.Scenario` (compiled to a chunk
+        stream on the fly, at the compiler's default seed), or any
+        :class:`repro.trace.source.TraceSource`.  Every shape is interpreted
+        through the same columnar row loop, so the result is identical
+        regardless of how the trace arrives.
+
+        Production is pull-based: the system fully services chunk *k* before
+        requesting chunk *k+1*, and sources declaring ``wants_feedback``
+        receive a :class:`~repro.trace.source.FeedbackSample` (assembled by
+        :meth:`feedback_sample`) before every pull -- the hook closed-loop
+        traffic shapers react through.  Open-loop sources are pulled with
+        ``feedback=None`` and pay nothing for the feedback path.
 
         ``warmup_accesses`` accesses are simulated first to warm the caches,
         the predictor tables and the DRAM row buffers (mirroring the paper's
@@ -343,99 +356,59 @@ class ServerSystem:
         # Scenario instance reaches us its package is necessarily loaded.
         from repro.scenario.compiler import iter_scenario_chunks
         from repro.scenario.spec import Scenario
+        from repro.trace.source import as_trace_source
 
         if isinstance(trace, Scenario):
             trace = iter_scenario_chunks(trace)
+        source = as_trace_source(trace)
+        wants_feedback = bool(getattr(source, "wants_feedback", False))
         recorder = self.telemetry
         if recorder is not None:
             recorder.on_run_start(self, self.workload_name)
-            return self._run_recorded(trace, warmup_accesses, recorder)
-        self._refresh_agent_hooks()
-        processed = 0
-        measuring = False
-        for chunk in as_chunk_iterator(trace):
-            if not len(chunk):
-                continue
-            if warmup_accesses and not measuring:
-                if processed + len(chunk) > warmup_accesses:
-                    # The measurement boundary falls inside this chunk: warm
-                    # up on the head window, then measure the tail.
-                    split = warmup_accesses - processed
-                    self._run_chunk(chunk[:split])
-                    processed += split
-                    self.begin_measurement()
-                    measuring = True
-                    chunk = chunk[split:]
-                elif processed + len(chunk) == warmup_accesses:
-                    self._run_chunk(chunk)
-                    processed += len(chunk)
-                    self.begin_measurement()
-                    measuring = True
-                    continue
-            self._run_chunk(chunk)
-            processed += len(chunk)
-        if warmup_accesses and processed < warmup_accesses:
-            raise ValueError("trace shorter than the requested warmup interval")
-        self._flush_dram()
-        self.memory.drain()
-        return self._collect_results()
-
-    def _run_recorded(self, trace, warmup_accesses: int, recorder) -> SimulationResult:
-        """The :meth:`run` loop with telemetry hooks at chunk boundaries.
-
-        Mirrors :meth:`run` exactly -- same warmup split, same chunk calls,
-        same drain order -- with one recorder sample per chunk boundary and
-        wall-time stage accounting folded per stage (never per access).
-        Bit-identity of the returned result with the unobserved loop is a
-        tested invariant.
-        """
-        self._refresh_agent_hooks()
-        processed = 0
-        measuring = False
-        timing = recorder.wants_spans
+        timing = recorder is not None and recorder.wants_spans
         clock = time.perf_counter
-        source = iter(as_chunk_iterator(trace))
+        self._refresh_agent_hooks()
+        processed = 0
+        measuring = False
         while True:
-            tick = clock()
-            chunk = next(source, None)
+            feedback = self.feedback_sample(processed) if wants_feedback else None
             if timing:
+                tick = clock()
+                chunk = source.next_chunk(feedback)
                 recorder.add_stage("chunk_generation", clock() - tick)
+            else:
+                chunk = source.next_chunk(feedback)
             if chunk is None:
                 break
             if not len(chunk):
                 continue
             if warmup_accesses and not measuring:
-                if processed + len(chunk) > warmup_accesses:
-                    split = warmup_accesses - processed
-                    tick = clock()
-                    self._run_chunk(chunk[:split])
-                    if timing:
-                        recorder.add_stage("chunk_service", clock() - tick)
+                split = warmup_accesses - processed
+                if len(chunk) >= split:
+                    # The measurement boundary falls in (or at the end of)
+                    # this chunk: warm up on the head window, then measure
+                    # whatever remains.
+                    chunk = self._cross_warmup_boundary(
+                        chunk, split, recorder, timing, clock, source)
                     processed += split
-                    recorder.on_chunk(self)
-                    self.begin_measurement()
-                    recorder.on_measurement_start(self)
                     measuring = True
-                    chunk = chunk[split:]
-                elif processed + len(chunk) == warmup_accesses:
-                    tick = clock()
-                    self._run_chunk(chunk)
-                    if timing:
-                        recorder.add_stage("chunk_service", clock() - tick)
-                    processed += len(chunk)
-                    recorder.on_chunk(self)
-                    self.begin_measurement()
-                    recorder.on_measurement_start(self)
-                    measuring = True
-                    continue
-            tick = clock()
-            self._run_chunk(chunk)
+                    if chunk is None:
+                        continue
             if timing:
+                tick = clock()
+                self._run_chunk(chunk)
                 recorder.add_stage("chunk_service", clock() - tick)
+            else:
+                self._run_chunk(chunk)
             processed += len(chunk)
-            recorder.on_chunk(self)
+            if recorder is not None:
+                recorder.on_chunk(self, intensity=_source_intensity(source))
         if warmup_accesses and processed < warmup_accesses:
             raise ValueError("trace shorter than the requested warmup interval")
+        if recorder is None:
+            self._flush_dram()
+            self.memory.drain()
+            return self._collect_results()
         with recorder.span("dram_drain"):
             self._flush_dram()
             self.memory.drain()
@@ -443,6 +416,59 @@ class ServerSystem:
             result = self._collect_results()
         recorder.on_run_end(self)
         return result
+
+    def _cross_warmup_boundary(self, chunk, split: int, recorder, timing: bool,
+                               clock, source) -> Optional[TraceBuffer]:
+        """Service a chunk that crosses the warmup boundary at ``split``.
+
+        Runs the warmup head, discards the warmup statistics
+        (:meth:`begin_measurement`) and returns the yet-to-be-serviced tail
+        (``None`` when the boundary coincides with the chunk end).  The one
+        shared implementation of the split for every run mode -- telemetry
+        hooks fire only when a recorder is attached, and the simulation call
+        sequence is identical either way.
+        """
+        head = chunk if split == len(chunk) else chunk[:split]
+        if timing:
+            tick = clock()
+            self._run_chunk(head)
+            recorder.add_stage("chunk_service", clock() - tick)
+        else:
+            self._run_chunk(head)
+        if recorder is not None:
+            recorder.on_chunk(self, intensity=_source_intensity(source))
+        self.begin_measurement()
+        if recorder is not None:
+            recorder.on_measurement_start(self)
+        return None if split == len(chunk) else chunk[split:]
+
+    def feedback_sample(self, accesses: int) -> "FeedbackSample":
+        """Assemble the closed-loop feedback observation at a chunk boundary.
+
+        All values are cumulative over the run (memory counters reset at the
+        warmup boundary's :meth:`begin_measurement`); controllers difference
+        against their own last-boundary sample.  Safe to call at any chunk
+        boundary: the hot-counter fold is idempotent and every staged DRAM
+        transfer has already been flushed by :meth:`_run_chunk`.
+        """
+        from repro.trace.source import FeedbackSample
+
+        self._flush_hot_counters()
+        memory = self.memory
+        stats = memory.aggregate_stats()
+        pending = getattr(memory, "pending_count", None)
+        if pending is not None:
+            queue_depth = int(pending())
+        else:
+            queue_depth = sum(len(c.queue) for c in memory.controllers)
+        return FeedbackSample(
+            accesses=int(accesses),
+            core_cycle=float(self._core_cycle),
+            demand_reads=int(stats["demand_reads"]),
+            read_latency_cycles=float(stats["demand_read_latency_cycles"]),
+            queue_depth=queue_depth,
+            llc_misses=int(self.counters["llc_misses"]),
+        )
 
     def _run_chunk(self, chunk: TraceBuffer) -> None:
         """Interpret one columnar chunk.

@@ -142,8 +142,14 @@ class TelemetryRecorder:
         if self.tracer is not None:
             self.tracer.mark("run_start", run=self._runs)
 
-    def on_chunk(self, system) -> None:
-        """Append one timeline sample at a streaming chunk boundary."""
+    def on_chunk(self, system, intensity: float = 1.0) -> None:
+        """Append one timeline sample at a streaming chunk boundary.
+
+        ``intensity`` is the trace source's current admission multiplier at
+        the boundary (1.0 for open-loop sources) -- recorded as a gauge so
+        closed-loop runs expose their controller trajectory alongside the
+        counters it reacted to.
+        """
         if not self.wants_samples:
             return
         totals = self._totals(system)
@@ -155,7 +161,7 @@ class TelemetryRecorder:
         self._accesses_total += deltas[0]
         self.timeline.append(
             [system._core_cycle, self._accesses_total,
-             _queue_occupancy(system.memory)] + deltas)
+             _queue_occupancy(system.memory), float(intensity)] + deltas)
 
     def on_measurement_start(self, system) -> None:
         """Re-baseline after ``begin_measurement`` reset the counters."""

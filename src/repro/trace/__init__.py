@@ -23,10 +23,22 @@ needs around those streams:
 * :mod:`repro.trace.capture` -- observe a simulation from the inside: an LLC
   agent that records the post-L1 request/eviction stream so the off-chip
   behaviour of a run can itself be saved, inspected and replayed.
+* :mod:`repro.trace.source` -- the ``TraceSource`` protocol every producer
+  speaks (``next_chunk(feedback)``): open-loop adapters over buffers and
+  chunk iterators, the :class:`IngestSource` replay path for captured trace
+  files, and the :class:`FeedbackSample` record closed-loop sources consume.
 """
 
 from repro.trace.buffer import DEFAULT_CHUNK_SIZE, TraceBuffer, as_chunk_iterator
 from repro.trace.capture import LLCTraceRecorder
+from repro.trace.source import (
+    FeedbackSample,
+    IngestSource,
+    IteratorSource,
+    TraceSource,
+    as_trace_source,
+    resume_source,
+)
 from repro.trace.filters import (
     filter_by_address_range,
     filter_by_core,
@@ -42,11 +54,17 @@ from repro.trace.stats import TraceStatistics, characterize_trace
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
+    "FeedbackSample",
+    "IngestSource",
+    "IteratorSource",
     "LLCTraceRecorder",
     "TraceBuffer",
+    "TraceSource",
     "TraceStatistics",
     "as_chunk_iterator",
+    "as_trace_source",
     "characterize_trace",
+    "resume_source",
     "filter_by_address_range",
     "filter_by_core",
     "filter_by_type",

@@ -124,11 +124,24 @@ class TestCommands:
         from repro.trace.io import load_trace
 
         output = tmp_path / "trace.npz"
-        status, out = run_cli(capsys, "trace", "web_search", "--accesses", "2000",
+        status, out = run_cli(capsys, "trace", "generate", "web_search",
+                              "--accesses", "2000",
                               "--cores", "4", "-o", str(output))
         assert status == 0
         assert output.exists()
         assert len(load_trace(output)) == 2000
+
+    def test_trace_ingest_replays_a_saved_trace(self, capsys, tmp_path):
+        output = tmp_path / "trace.npy"
+        status, _ = run_cli(capsys, "trace", "generate", "web_search",
+                            "--accesses", "2000",
+                            "--cores", "4", "-o", str(output))
+        assert status == 0
+        status, out = run_cli(capsys, "trace", "ingest", str(output),
+                              "--system", "bump", "--mmap")
+        assert status == 0
+        assert "replayed 2000 accesses" in out
+        assert "row_buffer_hit_ratio" in out
 
 
 class TestScenarioCommands:

@@ -18,7 +18,7 @@ from repro.fuzz import (
 #: ``python -c "from repro.fuzz import corpus_fingerprint;
 #: print(corpus_fingerprint(0), corpus_fingerprint(1))"`` and update both
 #: pins in the same commit.
-_PINNED_STREAM_0 = "6ba9dacd5aac2d59649d2d8d51504255"
+_PINNED_STREAM_0 = "a86673678b5bc1022a6f2f20b8557d23"
 _PINNED_STREAM_1 = "e961de94bfebf34d9585d15f859412da"
 
 
@@ -63,6 +63,11 @@ class TestValidity:
         assert any(len(p.active_cores) < c.scenario.num_cores
                    for c in cases for p in c.scenario.phases)
         assert len({c.config.name for c in cases}) >= 8
+        closed = [c for c in cases if c.closed_loop is not None]
+        assert closed and len(closed) < len(cases)
+        assert all(c.closed_loop.interval >= 1 and
+                   c.closed_loop.min_intensity <= c.closed_loop.max_intensity
+                   for c in closed)
 
     def test_tenant_partitions_are_disjoint(self):
         for spec in iter_specs(4, 20):
